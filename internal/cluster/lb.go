@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"repro/internal/ebid"
+	"repro/internal/workload"
+)
+
+// LoadBalancer is the client-side load balancer of Section 5.3: it
+// distributes new login requests evenly between nodes and implements
+// session affinity for established sessions. When the recovery manager
+// notifies it that a node is recovering, it redirects that node's
+// requests uniformly to the good nodes (failover); once recovery
+// completes, distribution returns to normal.
+type LoadBalancer struct {
+	nodes    []*Node
+	affinity map[string]*Node
+	// redirecting marks nodes the recovery manager asked us to drain.
+	redirecting map[*Node]bool
+	// Failover enables redirection; with it off, requests keep flowing
+	// to the recovering node (the paper's pre-failover µRB scheme).
+	Failover bool
+
+	rrNew   int // round-robin cursor for new sessions
+	rrSpill int // round-robin cursor for redirected traffic
+
+	// stats
+	failedOver    int64
+	sessionsMoved map[string]bool
+}
+
+// NewLoadBalancer builds a balancer over the given nodes.
+func NewLoadBalancer(nodes []*Node) *LoadBalancer {
+	return &LoadBalancer{
+		nodes:         nodes,
+		affinity:      map[string]*Node{},
+		redirecting:   map[*Node]bool{},
+		Failover:      true,
+		sessionsMoved: map[string]bool{},
+	}
+}
+
+// Nodes returns the balanced node set.
+func (lb *LoadBalancer) Nodes() []*Node { return lb.nodes }
+
+// SetRedirect marks a node as recovering (true) or recovered (false); the
+// recovery manager calls this around recovery actions.
+func (lb *LoadBalancer) SetRedirect(n *Node, redirect bool) {
+	if redirect {
+		lb.redirecting[n] = true
+	} else {
+		delete(lb.redirecting, n)
+	}
+}
+
+// FailedOverRequests reports how many requests were redirected away from
+// their affinity node.
+func (lb *LoadBalancer) FailedOverRequests() int64 { return lb.failedOver }
+
+// SessionsFailedOver reports how many distinct sessions had at least one
+// request redirected.
+func (lb *LoadBalancer) SessionsFailedOver() int { return len(lb.sessionsMoved) }
+
+// healthy returns nodes that are neither down nor being drained.
+func (lb *LoadBalancer) healthy() []*Node {
+	var out []*Node
+	for _, n := range lb.nodes {
+		if !n.Down() && !lb.redirecting[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Submit implements workload.Frontend.
+func (lb *LoadBalancer) Submit(req *workload.Request) {
+	target := lb.route(req)
+	target.Submit(req)
+}
+
+func (lb *LoadBalancer) route(req *workload.Request) *Node {
+	// Established sessions stick to their node.
+	if n, ok := lb.affinity[req.SessionID]; ok {
+		if lb.Failover && (lb.redirecting[n] || n.Down()) {
+			// Redirect uniformly to the good nodes.
+			good := lb.healthy()
+			if len(good) > 0 {
+				lb.failedOver++
+				lb.sessionsMoved[req.SessionID] = true
+				spill := good[lb.rrSpill%len(good)]
+				lb.rrSpill++
+				return spill
+			}
+		}
+		return n
+	}
+	// New sessions (the request establishing them) round-robin across
+	// healthy nodes; if none are healthy, any node takes the failure.
+	candidates := lb.healthy()
+	if len(candidates) == 0 {
+		candidates = lb.nodes
+	}
+	n := candidates[lb.rrNew%len(candidates)]
+	lb.rrNew++
+	if req.Op == ebid.Authenticate || req.Op == ebid.RegisterNewUser || req.Op == ebid.OpHome {
+		lb.affinity[req.SessionID] = n
+	}
+	return n
+}
+
+// SessionsOn counts sessions whose affinity points at n.
+func (lb *LoadBalancer) SessionsOn(n *Node) int {
+	count := 0
+	for _, node := range lb.affinity {
+		if node == n {
+			count++
+		}
+	}
+	return count
+}
+
+// ResetFailoverStats clears the failover counters (between experiment
+// phases).
+func (lb *LoadBalancer) ResetFailoverStats() {
+	lb.failedOver = 0
+	lb.sessionsMoved = map[string]bool{}
+}

@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution: the
+// microreboot machinery of a component application server.
+//
+// The design follows Section 3.2 of the paper. Applications are deployed
+// as sets of components (EJB analogs) described by deployment descriptors.
+// Each component runs inside a Container that manages an instance pool and
+// per-component metadata (the transaction method map). A naming Registry
+// (JNDI analog) maps component names to containers; during a microreboot
+// the name is bound to a sentinel and lookups return ErrRetryAfter, which
+// the web tier translates into HTTP 503 + Retry-After.
+//
+// Microreboot(name) expands the target to its recovery group — the
+// transitive closure of hard inter-component references declared in the
+// descriptors — then, for each member: destroys all extant instances,
+// kills the shepherding calls associated with them, aborts their open
+// transactions, releases leased resources, discards server metadata held
+// on the component's behalf, and finally reinstantiates and reinitializes
+// the component. The component's Factory (the classloader analog) is the
+// only thing preserved, exactly as JBoss preserves the EJB classloader.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind classifies components, mirroring the two EJB flavors used by eBid
+// plus the web tier.
+type Kind int
+
+// Component kinds.
+const (
+	// StatelessSession components implement end-user operations; each
+	// operation is a stateless session EJB interacting with entities.
+	StatelessSession Kind = iota
+	// Entity components implement persistent application objects whose
+	// instance state maps to database rows (container-managed
+	// persistence).
+	Entity
+	// Web is the presentation tier (the WAR): servlets invoking the
+	// session components and formatting results.
+	Web
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StatelessSession:
+		return "stateless-session"
+	case Entity:
+		return "entity"
+	case Web:
+		return "web"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TxAttr is a transaction attribute in the container's transaction method
+// map (a J2EE deployment concept; corrupting this map is one of the
+// Table 2 faults).
+type TxAttr string
+
+// Transaction attributes.
+const (
+	TxRequired  TxAttr = "Required"
+	TxSupports  TxAttr = "Supports"
+	TxNever     TxAttr = "Never"
+	txCorrupted TxAttr = "\x00corrupted"
+)
+
+// Call is one invocation travelling through the application: the unit the
+// shepherding thread of the paper carries from the web tier through the
+// EJBs. Components append themselves to Path, which both reproduces the
+// "path of calls between servlets and EJBs" that the recovery manager's
+// diagnosis uses and lets the server kill the calls shepherded by a
+// component being microrebooted.
+type Call struct {
+	// Op is the end-user operation, e.g. "MakeBid".
+	Op string
+	// SessionID identifies the HTTP session (cookie analog).
+	SessionID string
+	// Args carries operation arguments.
+	Args map[string]any
+	// TTL is the execution lease: a stuck call is purged when it expires.
+	TTL time.Duration
+	// Path accumulates the components traversed, in order.
+	Path []string
+	// parent links a sub-invocation back to the call it was spawned
+	// from: one Java thread shepherds a user request through multiple
+	// EJBs, so killing any hop kills the whole request.
+	parent *Call
+	// killed is set when a microreboot destroys the call's shepherd.
+	killed bool
+}
+
+// Child derives a sub-invocation for an inter-component call: it shares
+// the session and TTL, records its traversal into the parent's path, and
+// propagates kills to the parent (the shepherding thread is one and the
+// same).
+func (c *Call) Child(op string, args map[string]any) *Call {
+	return &Call{Op: op, SessionID: c.SessionID, Args: args, TTL: c.TTL, parent: c}
+}
+
+// Via records that the call entered the named component; the traversal is
+// visible on the root call's Path.
+func (c *Call) Via(component string) {
+	c.Path = append(c.Path, component)
+	if c.parent != nil {
+		c.parent.Via(component)
+	}
+}
+
+// Killed reports whether a microreboot killed this call's shepherd.
+func (c *Call) Killed() bool { return c.killed }
+
+// Kill marks the call — and the request it belongs to — as killed.
+func (c *Call) Kill() {
+	c.killed = true
+	if c.parent != nil {
+		c.parent.Kill()
+	}
+}
+
+// Root returns the top-level call of the request.
+func (c *Call) Root() *Call {
+	r := c
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// Arg fetches a typed argument; ok is false when absent or mistyped.
+func Arg[T any](c *Call, name string) (T, bool) {
+	var zero T
+	if c.Args == nil {
+		return zero, false
+	}
+	v, ok := c.Args[name].(T)
+	if !ok {
+		return zero, false
+	}
+	return v, true
+}
+
+// Component is the unit of microrebootability. Implementations must be
+// cheap to construct and initialize — the paper's first design goal is
+// components that are as small as possible in program logic and startup
+// time.
+type Component interface {
+	// Init prepares a fresh instance. It runs at deployment and again
+	// after every microreboot; it must be idempotent with respect to
+	// external state.
+	Init(env *Env) error
+	// Serve handles one operation dispatched to this component.
+	Serve(call *Call) (any, error)
+	// Stop releases instance resources. It is called on graceful
+	// undeployment but NOT on a microreboot crash — µRBs forcefully
+	// destroy instances without relying on their cooperation.
+	Stop() error
+}
+
+// Factory creates component instances. It is the classloader analog:
+// preserved across microreboots, so state captured in its closure plays
+// the role of Java static variables (which J2EE discourages mutating, and
+// which a µRB deliberately does not reset).
+type Factory func() Component
+
+// Descriptor is the deployment descriptor for one component.
+type Descriptor struct {
+	Name string
+	Kind Kind
+	// Refs are loose references resolved through the naming service;
+	// they define the call paths used by failure diagnosis but do NOT
+	// force components into a common recovery group.
+	Refs []string
+	// HardRefs are container-spanning metadata relationships (e.g. CMP
+	// relationships between entities). The transitive closure of
+	// HardRefs defines the recovery group that must microreboot
+	// together.
+	HardRefs []string
+	// Factory builds instances. Required.
+	Factory Factory
+	// TxMethods is the transaction method map installed into the
+	// container at (re)initialization.
+	TxMethods map[string]TxAttr
+	// PoolSize is the instance pool size; zero means DefaultPoolSize.
+	PoolSize int
+}
+
+// DefaultPoolSize is the container instance pool size when a descriptor
+// does not specify one.
+const DefaultPoolSize = 4
+
+// Application is a deployable set of components.
+type Application struct {
+	Name       string
+	Components []Descriptor
+}
+
+// Env is the server-provided environment handed to component instances at
+// Init. It deliberately exposes only high-level facilities: the paper
+// argues components must obtain resources exclusively through their
+// platform, or microreboots leak them.
+type Env struct {
+	// Registry resolves inter-component references.
+	Registry *Registry
+	// Resources carries application-wide facilities (database handle,
+	// session store, ...) registered at deployment. Keys are
+	// well-known strings owned by the application.
+	Resources map[string]any
+	// Now supplies virtual (or real) time.
+	Now func() time.Duration
+	// Server lets components (rarely) reach platform services, e.g. to
+	// register transactions for µRB-abort tracking.
+	Server *Server
+	// componentName is the name of the component this Env was built for.
+	componentName string
+}
+
+// Resource fetches a typed resource from the environment.
+func Resource[T any](e *Env, key string) (T, bool) {
+	var zero T
+	v, ok := e.Resources[key].(T)
+	if !ok {
+		return zero, false
+	}
+	return v, true
+}
+
+// ComponentName returns the name of the component the Env belongs to.
+func (e *Env) ComponentName() string { return e.componentName }
+
+// Errors returned by the core machinery.
+var (
+	// ErrRetryAfter is returned when a call reaches a component that is
+	// currently microrebooting; see RetryAfterError.
+	ErrRetryAfter = errors.New("core: component is recovering, retry after")
+	// ErrNotBound is returned when a name has no binding.
+	ErrNotBound = errors.New("core: name not bound")
+	// ErrHang marks a call that would block forever (deadlock or
+	// infinite loop); the hosting node parks it until killed or TTL.
+	ErrHang = errors.New("core: call hung")
+	// ErrComponentFault is the generic failure surfaced to callers when
+	// a component malfunctions.
+	ErrComponentFault = errors.New("core: component fault")
+	// ErrStopped is returned by calls into an undeployed component.
+	ErrStopped = errors.New("core: component stopped")
+)
+
+// RetryAfterError tells the caller when to retry; the web tier maps it to
+// HTTP 503 with a Retry-After header (Section 6.2 of the paper).
+type RetryAfterError struct {
+	// Component is the recovering component.
+	Component string
+	// After is the estimated remaining recovery time.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("core: %s is recovering, retry after %v", e.Component, e.After)
+}
+
+// Unwrap makes errors.Is(err, ErrRetryAfter) work.
+func (e *RetryAfterError) Unwrap() error { return ErrRetryAfter }

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ContainerState tracks the lifecycle of a container.
+type ContainerState int
+
+// Container states.
+const (
+	StateRunning ContainerState = iota
+	StateRebooting
+	StateStopped
+)
+
+func (s ContainerState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateRebooting:
+		return "rebooting"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("ContainerState(%d)", int(s))
+	}
+}
+
+// FaultHook intercepts calls into a component, letting the fault injector
+// simulate the Table 2 failure modes. A non-nil returned error is
+// surfaced as the call's outcome; returning (true, nil) lets the call
+// proceed normally.
+type FaultHook func(call *Call) (proceed bool, result any, err error)
+
+// Container manages all instances of one component, the per-component
+// server metadata, and the component's volatile resource accounting. It is
+// the JBoss "management container" analog.
+type Container struct {
+	mu   sync.Mutex
+	desc Descriptor
+	env  *Env
+
+	state     ContainerState
+	instances []Component
+	next      int // round-robin instance cursor
+
+	// txMethods is the live transaction method map; rebuilt from the
+	// descriptor on every (re)initialization, so corruption is cured by
+	// a µRB.
+	txMethods map[string]TxAttr
+
+	// leakedBytes models memory held beyond the instance pool (leaks);
+	// a µRB releases it. Drives the microrejuvenation experiments.
+	leakedBytes int64
+
+	// faultHook, when set, intercepts calls (fault injection).
+	faultHook FaultHook
+
+	// activeCalls are the in-flight calls currently shepherded through
+	// this component, so a µRB can kill them.
+	activeCalls map[*Call]struct{}
+
+	// stats
+	served   uint64
+	failed   uint64
+	rebooted uint64
+
+	// recoveryEstimate is how long a µRB of this component is expected
+	// to take; used for the RetryAfter hint.
+	recoveryEstimate time.Duration
+}
+
+func newContainer(desc Descriptor, env *Env) *Container {
+	return &Container{
+		desc:        desc,
+		env:         env,
+		state:       StateStopped,
+		activeCalls: map[*Call]struct{}{},
+	}
+}
+
+// Name returns the component name.
+func (c *Container) Name() string { return c.desc.Name }
+
+// Kind returns the component kind.
+func (c *Container) Kind() Kind { return c.desc.Kind }
+
+// Descriptor returns a copy of the deployment descriptor.
+func (c *Container) Descriptor() Descriptor { return c.desc }
+
+// State returns the container's lifecycle state.
+func (c *Container) State() ContainerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// initialize builds the instance pool and metadata. Called at deployment
+// and at the completion phase of a microreboot. The instance Factory is
+// deliberately reused (classloader preservation).
+func (c *Container) initialize() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.initializeLocked()
+}
+
+func (c *Container) initializeLocked() error {
+	size := c.desc.PoolSize
+	if size <= 0 {
+		size = DefaultPoolSize
+	}
+	c.instances = make([]Component, 0, size)
+	for i := 0; i < size; i++ {
+		inst := c.desc.Factory()
+		if inst == nil {
+			return fmt.Errorf("core: factory for %s returned nil", c.desc.Name)
+		}
+		if err := inst.Init(c.env); err != nil {
+			return fmt.Errorf("core: init %s: %w", c.desc.Name, err)
+		}
+		c.instances = append(c.instances, inst)
+	}
+	// Rebuild the transaction method map from the descriptor: corrupted
+	// metadata is discarded by the µRB.
+	c.txMethods = make(map[string]TxAttr, len(c.desc.TxMethods))
+	for op, attr := range c.desc.TxMethods {
+		c.txMethods[op] = attr
+	}
+	c.state = StateRunning
+	return nil
+}
+
+// crash forcefully destroys all instances and kills shepherded calls. It
+// returns the killed calls and the number of leaked bytes released.
+func (c *Container) crash() (killed []*Call, freed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = StateRebooting
+	c.instances = nil // destroy all extant instances
+	c.next = 0
+	c.txMethods = nil // discard server metadata
+	freed = c.leakedBytes
+	c.leakedBytes = 0
+	for call := range c.activeCalls {
+		call.Kill()
+		killed = append(killed, call)
+	}
+	c.activeCalls = map[*Call]struct{}{}
+	c.rebooted++
+	return killed, freed
+}
+
+// stop gracefully undeploys the component.
+func (c *Container) stop() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, inst := range c.instances {
+		if err := inst.Stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.instances = nil
+	c.state = StateStopped
+	return firstErr
+}
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (c *Container) SetFaultHook(h FaultHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faultHook = h
+}
+
+// CorruptTxMethodMap damages the live transaction method map (Table 2:
+// "corrupt transaction method map"). mode is "null", "invalid" or
+// "wrong". The damage persists until the next µRB rebuilds the map.
+func (c *Container) CorruptTxMethodMap(mode string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch mode {
+	case "null":
+		c.txMethods = nil
+	case "invalid":
+		for op := range c.txMethods {
+			c.txMethods[op] = txCorrupted
+		}
+	case "wrong":
+		// Swap attributes so transactional ops run without transactions:
+		// valid-looking, semantically wrong.
+		for op := range c.txMethods {
+			if c.txMethods[op] == TxRequired {
+				c.txMethods[op] = TxNever
+			} else {
+				c.txMethods[op] = TxRequired
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown corruption mode %q", mode)
+	}
+	return nil
+}
+
+// TxAttrFor reports the transaction attribute for op. Calls on a container
+// whose map was nulled or invalidated fail — reproducing the fault's
+// user-visible symptom.
+func (c *Container) TxAttrFor(op string) (TxAttr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.txMethods == nil {
+		return "", fmt.Errorf("%w: %s transaction method map missing", ErrComponentFault, c.desc.Name)
+	}
+	attr, ok := c.txMethods[op]
+	if !ok {
+		return TxSupports, nil // sensible default for undeclared ops
+	}
+	if attr == txCorrupted {
+		return "", fmt.Errorf("%w: %s transaction method map corrupted", ErrComponentFault, c.desc.Name)
+	}
+	return attr, nil
+}
+
+// Leak adds n bytes to the container's modeled leaked memory.
+func (c *Container) Leak(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leakedBytes += n
+}
+
+// LeakedBytes reports the current modeled leak.
+func (c *Container) LeakedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leakedBytes
+}
+
+// Stats reports served/failed/rebooted counters.
+func (c *Container) Stats() (served, failed, rebooted uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.served, c.failed, c.rebooted
+}
+
+// ActiveCalls reports how many calls are currently inside the component.
+func (c *Container) ActiveCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.activeCalls)
+}
+
+// ReplaceInstance discards one pooled instance and builds a fresh one.
+// The container does this automatically when an instance-level fault is
+// detected — which is why Table 2 marks null/invalid attribute corruption
+// of stateless session EJBs as needing no reboot at all: the faulty
+// instance is naturally expunged after the first call fails.
+func (c *Container) ReplaceInstance(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.instances) {
+		return fmt.Errorf("core: instance index %d out of range", i)
+	}
+	inst := c.desc.Factory()
+	if err := inst.Init(c.env); err != nil {
+		return err
+	}
+	c.instances[i] = inst
+	return nil
+}
+
+// Serve dispatches a call to a pooled instance. It enforces the container
+// state, runs the fault hook, consults the transaction method map, tracks
+// the call for µRB killing, and records statistics.
+func (c *Container) Serve(call *Call) (any, error) {
+	c.mu.Lock()
+	switch c.state {
+	case StateRebooting:
+		est := c.recoveryEstimate
+		c.mu.Unlock()
+		return nil, &RetryAfterError{Component: c.desc.Name, After: est}
+	case StateStopped:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrStopped, c.desc.Name)
+	}
+	if len(c.instances) == 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s has no instances", ErrComponentFault, c.desc.Name)
+	}
+	hook := c.faultHook
+	idx := c.next % len(c.instances)
+	inst := c.instances[idx]
+	c.next++
+	c.activeCalls[call] = struct{}{}
+	c.served++
+	c.mu.Unlock()
+
+	call.Via(c.desc.Name)
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.activeCalls, call)
+		c.mu.Unlock()
+	}()
+
+	if hook != nil {
+		proceed, res, err := hook(call)
+		if !proceed {
+			if err != nil {
+				c.mu.Lock()
+				c.failed++
+				c.mu.Unlock()
+			}
+			return res, err
+		}
+	}
+
+	// The transaction method map must be intact for any declared op.
+	if _, err := c.TxAttrFor(call.Op); err != nil {
+		c.mu.Lock()
+		c.failed++
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	res, err := inst.Serve(call)
+	if err != nil {
+		c.mu.Lock()
+		c.failed++
+		c.mu.Unlock()
+	}
+	return res, err
+}

@@ -1,0 +1,748 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/store/db"
+)
+
+// echoComponent is a trivial component for framework tests.
+type echoComponent struct {
+	name    string
+	inited  int
+	stopped int
+}
+
+func (e *echoComponent) Init(env *Env) error { e.inited++; return nil }
+func (e *echoComponent) Serve(call *Call) (any, error) {
+	return fmt.Sprintf("%s:%s", e.name, call.Op), nil
+}
+func (e *echoComponent) Stop() error { e.stopped++; return nil }
+
+func echoDesc(name string, kind Kind, hardRefs ...string) Descriptor {
+	return Descriptor{
+		Name:     name,
+		Kind:     kind,
+		HardRefs: hardRefs,
+		Factory:  func() Component { return &echoComponent{name: name} },
+		TxMethods: map[string]TxAttr{
+			"write": TxRequired,
+			"read":  TxSupports,
+		},
+	}
+}
+
+func deployEcho(t *testing.T, names ...string) *Server {
+	t.Helper()
+	s := NewServer()
+	app := Application{Name: "test"}
+	for _, n := range names {
+		app.Components = append(app.Components, echoDesc(n, StatelessSession))
+	}
+	if err := s.Deploy(app); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return s
+}
+
+func TestDeployAndServe(t *testing.T) {
+	s := deployEcho(t, "A", "B")
+	c, err := s.Registry().Lookup("A")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	res, err := c.Serve(&Call{Op: "read"})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if res != "A:read" {
+		t.Fatalf("res = %v, want A:read", res)
+	}
+	if got := s.Components(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Components = %v", got)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	s := deployEcho(t, "A")
+	if err := s.Deploy(Application{Name: "test"}); err == nil {
+		t.Fatal("duplicate app deploy should fail")
+	}
+	if err := s.Deploy(Application{Name: "other", Components: []Descriptor{echoDesc("A", StatelessSession)}}); err == nil {
+		t.Fatal("duplicate component deploy should fail")
+	}
+	if err := s.Deploy(Application{Name: "nofac", Components: []Descriptor{{Name: "X"}}}); err == nil {
+		t.Fatal("deploy without factory should fail")
+	}
+}
+
+func TestCallPathRecorded(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	call := &Call{Op: "read"}
+	if _, err := c.Serve(call); err != nil {
+		t.Fatal(err)
+	}
+	if len(call.Path) != 1 || call.Path[0] != "A" {
+		t.Fatalf("Path = %v, want [A]", call.Path)
+	}
+}
+
+func TestMicrorebootLifecycle(t *testing.T) {
+	s := deployEcho(t, "A", "B")
+	rb, err := s.BeginMicroreboot("A")
+	if err != nil {
+		t.Fatalf("BeginMicroreboot: %v", err)
+	}
+	if len(rb.Members) != 1 || rb.Members[0] != "A" {
+		t.Fatalf("Members = %v, want [A]", rb.Members)
+	}
+	if rb.Duration() <= 0 {
+		t.Fatal("zero recovery duration")
+	}
+
+	// During the µRB, lookups hit the sentinel.
+	_, err = s.Registry().Lookup("A")
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("Lookup during µRB err = %v, want RetryAfterError", err)
+	}
+	if !errors.Is(err, ErrRetryAfter) {
+		t.Fatal("RetryAfterError must unwrap to ErrRetryAfter")
+	}
+	if ra.After <= 0 {
+		t.Fatal("RetryAfter hint must be positive")
+	}
+
+	// B is unaffected.
+	if _, err := s.Registry().Lookup("B"); err != nil {
+		t.Fatalf("B lookup during A µRB: %v", err)
+	}
+
+	if err := s.CompleteMicroreboot(rb); err != nil {
+		t.Fatalf("CompleteMicroreboot: %v", err)
+	}
+	c, err := s.Registry().Lookup("A")
+	if err != nil {
+		t.Fatalf("Lookup after µRB: %v", err)
+	}
+	if _, err := c.Serve(&Call{Op: "read"}); err != nil {
+		t.Fatalf("Serve after µRB: %v", err)
+	}
+	if err := s.CompleteMicroreboot(rb); err == nil {
+		t.Fatal("double complete should fail")
+	}
+	if s.Reboots() != 1 {
+		t.Fatalf("Reboots = %d, want 1", s.Reboots())
+	}
+}
+
+func TestMicrorebootKillsActiveCalls(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	// Simulate an in-flight call by registering it the way Serve does:
+	// enter the container from another goroutine that blocks.
+	call := &Call{Op: "read"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := func() Component { return blockingComponent{started, release} }
+	s2 := NewServer()
+	if err := s2.Deploy(Application{Name: "t", Components: []Descriptor{{
+		Name: "Block", Factory: blocker,
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := s2.Registry().Lookup("Block")
+	done := make(chan error)
+	go func() {
+		_, err := bc.Serve(call)
+		done <- err
+	}()
+	<-started
+	rb, err := s2.BeginMicroreboot("Block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.KilledCalls) != 1 || rb.KilledCalls[0] != call {
+		t.Fatalf("KilledCalls = %v, want the in-flight call", rb.KilledCalls)
+	}
+	if !call.Killed() {
+		t.Fatal("call not marked killed")
+	}
+	close(release)
+	<-done
+	_ = c
+	if err := s2.CompleteMicroreboot(rb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type blockingComponent struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b blockingComponent) Init(*Env) error { return nil }
+func (b blockingComponent) Serve(*Call) (any, error) {
+	b.started <- struct{}{}
+	<-b.release
+	return nil, nil
+}
+func (b blockingComponent) Stop() error { return nil }
+
+func TestRecoveryGroups(t *testing.T) {
+	s := NewServer()
+	app := Application{Name: "g", Components: []Descriptor{
+		echoDesc("User", Entity, "Item"),
+		echoDesc("Item", Entity, "Bid"),
+		echoDesc("Bid", Entity),
+		echoDesc("Region", Entity, "User"),
+		echoDesc("MakeBid", StatelessSession), // loose refs only
+		echoDesc("Search", StatelessSession),
+	}}
+	if err := s.Deploy(app); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.RecoveryGroup("Bid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Bid", "Item", "Region", "User"}
+	if len(g) != len(want) {
+		t.Fatalf("group = %v, want %v", g, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("group = %v, want %v", g, want)
+		}
+	}
+	// Session components stay alone.
+	g2, _ := s.RecoveryGroup("MakeBid")
+	if len(g2) != 1 || g2[0] != "MakeBid" {
+		t.Fatalf("MakeBid group = %v, want singleton", g2)
+	}
+	// µRB of one group member takes the whole group down.
+	rb, err := s.BeginMicroreboot("User")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Members) != 4 {
+		t.Fatalf("reboot members = %v, want 4 entities", rb.Members)
+	}
+	for _, m := range rb.Members {
+		if _, err := s.Registry().Lookup(m); !errors.Is(err, ErrRetryAfter) {
+			t.Fatalf("member %s not sentinel-bound: %v", m, err)
+		}
+	}
+	// Non-members unaffected.
+	if _, err := s.Registry().Lookup("Search"); err != nil {
+		t.Fatalf("Search lookup: %v", err)
+	}
+	if err := s.CompleteMicroreboot(rb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recovery-group membership is symmetric and idempotent —
+// for random hard-ref graphs, a ∈ group(b) ⇔ b ∈ group(a), and
+// group(group(a)[i]) == group(a).
+func TestPropertyRecoveryGroupClosure(t *testing.T) {
+	f := func(edges []uint8) bool {
+		const n = 8
+		s := NewServer()
+		app := Application{Name: "p"}
+		refs := make(map[int][]string)
+		for _, e := range edges {
+			a, b := int(e>>4)%n, int(e&0xF)%n
+			if a != b {
+				refs[a] = append(refs[a], fmt.Sprintf("C%d", b))
+			}
+		}
+		for i := 0; i < n; i++ {
+			app.Components = append(app.Components, echoDesc(fmt.Sprintf("C%d", i), Entity, refs[i]...))
+		}
+		if err := s.Deploy(app); err != nil {
+			return false
+		}
+		groups := map[string][]string{}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("C%d", i)
+			g, err := s.RecoveryGroup(name)
+			if err != nil {
+				return false
+			}
+			groups[name] = g
+		}
+		for name, g := range groups {
+			inOwn := false
+			for _, m := range g {
+				if m == name {
+					inOwn = true
+				}
+				// symmetry: every member's group equals this group
+				mg := groups[m]
+				if len(mg) != len(g) {
+					return false
+				}
+				for k := range g {
+					if mg[k] != g[k] {
+						return false
+					}
+				}
+			}
+			if !inOwn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCorruptionAndHealing(t *testing.T) {
+	s := deployEcho(t, "A", "B")
+	for _, mode := range []string{"null", "invalid"} {
+		if err := s.Registry().Corrupt("A", mode); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Registry().Lookup("A"); !errors.Is(err, ErrComponentFault) {
+			t.Fatalf("mode %s: err = %v, want ErrComponentFault", mode, err)
+		}
+		// A µRB rebinds the name, healing the corruption.
+		if _, err := s.Microreboot("A"); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Registry().Healthy("A") {
+			t.Fatalf("mode %s: binding not healed by µRB", mode)
+		}
+	}
+	// "wrong" resolves to another component's container.
+	if err := s.Registry().Corrupt("A", "wrong"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Registry().Lookup("A")
+	if err != nil {
+		t.Fatalf("wrong-mode lookup should succeed: %v", err)
+	}
+	if c.Name() != "B" {
+		t.Fatalf("wrong-mode target = %s, want B", c.Name())
+	}
+	if _, err := s.Microreboot("A"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = s.Registry().Lookup("A")
+	if c.Name() != "A" {
+		t.Fatal("µRB did not heal wrong binding")
+	}
+	if err := s.Registry().Corrupt("Ghost", "null"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("corrupt unbound err = %v", err)
+	}
+	if err := s.Registry().Corrupt("A", "weird"); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestTxMethodMapCorruptionAndHealing(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	for _, mode := range []string{"null", "invalid"} {
+		if err := c.CorruptTxMethodMap(mode); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Serve(&Call{Op: "write"}); !errors.Is(err, ErrComponentFault) {
+			t.Fatalf("mode %s: Serve err = %v, want ErrComponentFault", mode, err)
+		}
+		if _, err := s.Microreboot("A"); err != nil {
+			t.Fatal(err)
+		}
+		c, _ = s.Registry().Lookup("A")
+		if _, err := c.Serve(&Call{Op: "write"}); err != nil {
+			t.Fatalf("mode %s: Serve after µRB: %v", mode, err)
+		}
+	}
+	// "wrong" swaps attributes silently — calls succeed but run with the
+	// wrong transactional behavior.
+	if err := c.CorruptTxMethodMap("wrong"); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := c.TxAttrFor("write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != TxNever {
+		t.Fatalf("wrong-mode attr = %v, want swapped TxNever", attr)
+	}
+	if err := c.CorruptTxMethodMap("nope"); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+}
+
+func TestMicrorebootAbortsTransactions(t *testing.T) {
+	d := db.New(nil)
+	if err := d.CreateTable(db.Schema{Name: "t", Columns: []db.Column{{Name: "v", Type: db.Int}}}); err != nil {
+		t.Fatal(err)
+	}
+	s := deployEcho(t, "A", "B")
+	txA, _ := d.Begin()
+	txB, _ := d.Begin()
+	s.RegisterTx("A", txA)
+	s.RegisterTx("B", txB)
+	rb, err := s.Microreboot("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.AbortedTxs != 1 {
+		t.Fatalf("AbortedTxs = %d, want 1", rb.AbortedTxs)
+	}
+	if !txA.Done() {
+		t.Fatal("A's transaction not aborted by µRB")
+	}
+	if txB.Done() {
+		t.Fatal("B's transaction wrongly aborted")
+	}
+	// Released transactions are not aborted.
+	txA2, _ := d.Begin()
+	s.RegisterTx("A", txA2)
+	s.ReleaseTx("A", txA2)
+	_ = txA2.Commit()
+	rb2, _ := s.Microreboot("A")
+	if rb2.AbortedTxs != 0 {
+		t.Fatalf("AbortedTxs = %d, want 0 after release", rb2.AbortedTxs)
+	}
+	_ = txB.Abort()
+}
+
+func TestMicrorebootReleasesLeakedMemory(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	c.Leak(1 << 20)
+	c.Leak(1 << 20)
+	if c.LeakedBytes() != 2<<20 {
+		t.Fatalf("LeakedBytes = %d", c.LeakedBytes())
+	}
+	rb, err := s.Microreboot("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.FreedBytes != 2<<20 {
+		t.Fatalf("FreedBytes = %d, want 2MiB", rb.FreedBytes)
+	}
+	c, _ = s.Registry().Lookup("A")
+	if c.LeakedBytes() != 0 {
+		t.Fatal("leak survived µRB")
+	}
+}
+
+func TestFactoryPreservedAcrossMicroreboot(t *testing.T) {
+	// State captured in the factory closure (the classloader/static-var
+	// analog) must survive a µRB; instance state must not.
+	staticCounter := 0
+	s := NewServer()
+	err := s.Deploy(Application{Name: "t", Components: []Descriptor{{
+		Name: "C",
+		Factory: func() Component {
+			staticCounter++
+			return &echoComponent{name: "C"}
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterDeploy := staticCounter
+	if afterDeploy == 0 {
+		t.Fatal("factory never invoked at deploy")
+	}
+	if _, err := s.Microreboot("C"); err != nil {
+		t.Fatal(err)
+	}
+	if staticCounter <= afterDeploy {
+		t.Fatal("factory not reused for reinstantiation")
+	}
+}
+
+func TestRebootObservers(t *testing.T) {
+	s := deployEcho(t, "A", "B")
+	var events []*Reboot
+	s.OnReboot(func(r *Reboot) { events = append(events, r) })
+	if _, err := s.Microreboot("A"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Members[0] != "A" || events[0].Scope != ScopeComponent {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestScopedReboots(t *testing.T) {
+	s := NewServer()
+	err := s.Deploy(Application{Name: "app", Components: []Descriptor{
+		echoDesc("WAR", Web),
+		echoDesc("E1", StatelessSession),
+		echoDesc("E2", Entity),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WAR scope picks only web components.
+	rb, err := s.BeginScopedReboot(ScopeWAR, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Members) != 1 || rb.Members[0] != "WAR" {
+		t.Fatalf("WAR reboot members = %v", rb.Members)
+	}
+	if err := s.CompleteMicroreboot(rb); err != nil {
+		t.Fatal(err)
+	}
+	// App scope covers everything in the app.
+	rb, err = s.BeginScopedReboot(ScopeApp, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Members) != 3 {
+		t.Fatalf("app reboot members = %v", rb.Members)
+	}
+	// App restart is optimized: cheaper than the sum of its parts but
+	// more expensive than any single EJB.
+	var sum time.Duration
+	m := uniformCost{}
+	for _, n := range rb.Members {
+		sum += m.CrashTime(n) + m.ReinitTime(n)
+	}
+	if rb.Duration() <= 0 {
+		t.Fatal("app restart has zero duration")
+	}
+	if err := s.CompleteMicroreboot(rb); err != nil {
+		t.Fatal(err)
+	}
+	// Process scope covers all components on the server.
+	rb, err = s.BeginScopedReboot(ScopeProcess, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Members) != 3 {
+		t.Fatalf("process reboot members = %v", rb.Members)
+	}
+	pc, pr := m.ScopeTime(ScopeProcess)
+	if rb.Crash != pc || rb.Reinit != pr {
+		t.Fatalf("process durations = %v/%v, want %v/%v", rb.Crash, rb.Reinit, pc, pr)
+	}
+	if err := s.CompleteMicroreboot(rb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginScopedReboot(ScopeComponent, "app"); err == nil {
+		t.Fatal("component scope through BeginScopedReboot should error")
+	}
+	if _, err := s.BeginScopedReboot(ScopeWAR, "ghost"); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestWARCostApplied(t *testing.T) {
+	s := NewServer()
+	if err := s.Deploy(Application{Name: "a", Components: []Descriptor{echoDesc("W", Web)}}); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.BeginMicroreboot("W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, wr := uniformCost{}.ScopeTime(ScopeWAR)
+	if rb.Crash < wc || rb.Reinit < wr {
+		t.Fatalf("WAR µRB durations %v/%v below scope cost %v/%v", rb.Crash, rb.Reinit, wc, wr)
+	}
+	_ = s.CompleteMicroreboot(rb)
+}
+
+func TestServeStoppedAndRebooting(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	rb, _ := s.BeginMicroreboot("A")
+	if _, err := c.Serve(&Call{Op: "read"}); !errors.Is(err, ErrRetryAfter) {
+		t.Fatalf("Serve during µRB err = %v, want ErrRetryAfter", err)
+	}
+	_ = s.CompleteMicroreboot(rb)
+	if err := c.stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Serve(&Call{Op: "read"}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Serve stopped err = %v, want ErrStopped", err)
+	}
+}
+
+func TestInstanceReplacement(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	if err := c.ReplaceInstance(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceInstance(99); err == nil {
+		t.Fatal("out-of-range replacement should error")
+	}
+}
+
+func TestFaultHookInterception(t *testing.T) {
+	s := deployEcho(t, "A")
+	c, _ := s.Registry().Lookup("A")
+	boom := errors.New("boom")
+	c.SetFaultHook(func(call *Call) (bool, any, error) {
+		if call.Op == "write" {
+			return false, nil, boom
+		}
+		return true, nil, nil
+	})
+	if _, err := c.Serve(&Call{Op: "write"}); !errors.Is(err, boom) {
+		t.Fatalf("hooked op err = %v, want boom", err)
+	}
+	if _, err := c.Serve(&Call{Op: "read"}); err != nil {
+		t.Fatalf("unhooked op err = %v", err)
+	}
+	_, failed, _ := c.Stats()
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	c.SetFaultHook(nil)
+	if _, err := c.Serve(&Call{Op: "write"}); err != nil {
+		t.Fatalf("after clearing hook: %v", err)
+	}
+}
+
+func TestLeaseTable(t *testing.T) {
+	var now time.Duration
+	lt := NewLeaseTable(func() time.Duration { return now })
+	released := map[string]int{}
+	id1 := lt.Acquire("A", time.Minute, func() { released["r1"]++ })
+	lt.Acquire("A", time.Hour, func() { released["r2"]++ })
+	lt.Acquire("B", time.Minute, func() { released["r3"]++ })
+	if lt.Live("") != 3 || lt.Live("A") != 2 {
+		t.Fatalf("Live = %d/%d", lt.Live(""), lt.Live("A"))
+	}
+	// Renewal keeps r1 alive past its original expiry.
+	if !lt.Renew(id1, 2*time.Hour) {
+		t.Fatal("Renew failed")
+	}
+	now = 30 * time.Minute
+	if n := lt.Reap(); n != 1 {
+		t.Fatalf("Reap = %d, want 1 (r3)", n)
+	}
+	if released["r3"] != 1 || released["r1"] != 0 {
+		t.Fatalf("released = %v", released)
+	}
+	// µRB force-releases everything A holds.
+	if n := lt.ForceReleaseHolder("A"); n != 2 {
+		t.Fatalf("ForceReleaseHolder = %d, want 2", n)
+	}
+	if released["r1"] != 1 || released["r2"] != 1 {
+		t.Fatalf("released = %v", released)
+	}
+	if lt.Live("") != 0 {
+		t.Fatalf("Live = %d, want 0", lt.Live(""))
+	}
+	if lt.Release(id1) {
+		t.Fatal("Release of dead lease should report false")
+	}
+	if lt.Renew(id1, time.Hour) {
+		t.Fatal("Renew of dead lease should report false")
+	}
+}
+
+// Property: after any sequence of µRBs, every container is running, every
+// binding healthy, and calls succeed — reintegration is always complete.
+func TestPropertyMicrorebootAlwaysReintegrates(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	f := func(picks []uint8) bool {
+		s := deployEcho(t, names...)
+		for _, p := range picks {
+			n := names[int(p)%len(names)]
+			if _, err := s.Microreboot(n); err != nil {
+				return false
+			}
+		}
+		for _, n := range names {
+			c, err := s.Registry().Lookup(n)
+			if err != nil {
+				return false
+			}
+			if c.State() != StateRunning {
+				return false
+			}
+			if _, err := c.Serve(&Call{Op: "read"}); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(51))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallHelpers(t *testing.T) {
+	c := &Call{Op: "x", Args: map[string]any{"id": int64(7), "name": "n"}}
+	if v, ok := Arg[int64](c, "id"); !ok || v != 7 {
+		t.Fatalf("Arg[int64] = %v/%v", v, ok)
+	}
+	if _, ok := Arg[string](c, "id"); ok {
+		t.Fatal("mistyped Arg should report !ok")
+	}
+	if _, ok := Arg[int64](c, "missing"); ok {
+		t.Fatal("missing Arg should report !ok")
+	}
+	if _, ok := Arg[int64](&Call{}, "id"); ok {
+		t.Fatal("nil Args should report !ok")
+	}
+}
+
+func TestEnvResource(t *testing.T) {
+	s := NewServer(WithResource("db", 42))
+	var got int
+	ok := false
+	err := s.Deploy(Application{Name: "a", Components: []Descriptor{{
+		Name: "C",
+		Factory: func() Component {
+			return initFunc(func(env *Env) error {
+				got, ok = Resource[int](env, "db")
+				if env.ComponentName() != "C" {
+					t.Errorf("ComponentName = %s", env.ComponentName())
+				}
+				return nil
+			})
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != 42 {
+		t.Fatalf("Resource = %v/%v", got, ok)
+	}
+}
+
+type initFunc func(*Env) error
+
+func (f initFunc) Init(e *Env) error        { return f(e) }
+func (f initFunc) Serve(*Call) (any, error) { return nil, nil }
+func (f initFunc) Stop() error              { return nil }
+
+func TestStringers(t *testing.T) {
+	for _, k := range []Kind{StatelessSession, Entity, Web, Kind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty Kind string")
+		}
+	}
+	for _, sc := range []Scope{ScopeComponent, ScopeWAR, ScopeApp, ScopeProcess, ScopeNode, Scope(9)} {
+		if sc.String() == "" {
+			t.Fatal("empty Scope string")
+		}
+	}
+	for _, st := range []ContainerState{StateRunning, StateRebooting, StateStopped, ContainerState(9)} {
+		if st.String() == "" {
+			t.Fatal("empty ContainerState string")
+		}
+	}
+}

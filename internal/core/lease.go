@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LeaseTable implements the lease-based resource accounting of the
+// crash-only design: "Resources in a frequently-microrebooting system
+// should be leased, to improve the reliability of cleaning up after µRBs."
+// Holders register resources with a TTL and a release function; expired
+// leases are reaped, and a microreboot can force-release every lease held
+// by a component.
+type LeaseTable struct {
+	mu     sync.Mutex
+	now    func() time.Duration
+	nextID uint64
+	leases map[uint64]*lease
+	// byHolder indexes leases by the owning component.
+	byHolder map[string]map[uint64]struct{}
+}
+
+type lease struct {
+	id      uint64
+	holder  string
+	expires time.Duration
+	release func()
+}
+
+// NewLeaseTable builds a lease table driven by the given time source.
+func NewLeaseTable(now func() time.Duration) *LeaseTable {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &LeaseTable{
+		now:      now,
+		leases:   map[uint64]*lease{},
+		byHolder: map[string]map[uint64]struct{}{},
+	}
+}
+
+// Acquire registers a leased resource held by component holder. release
+// runs exactly once, when the lease expires, is renewed-then-expires, is
+// explicitly released, or is force-released by a µRB. It returns the
+// lease id.
+func (t *LeaseTable) Acquire(holder string, ttl time.Duration, release func()) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	t.leases[id] = &lease{id: id, holder: holder, expires: t.now() + ttl, release: release}
+	set := t.byHolder[holder]
+	if set == nil {
+		set = map[uint64]struct{}{}
+		t.byHolder[holder] = set
+	}
+	set[id] = struct{}{}
+	return id
+}
+
+// Renew extends a lease's TTL from now. It reports whether the lease was
+// still live.
+func (t *LeaseTable) Renew(id uint64, ttl time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[id]
+	if !ok {
+		return false
+	}
+	l.expires = t.now() + ttl
+	return true
+}
+
+// Release ends a lease explicitly, running its release function.
+func (t *LeaseTable) Release(id uint64) bool {
+	t.mu.Lock()
+	l, ok := t.leases[id]
+	if ok {
+		t.removeLocked(l)
+	}
+	t.mu.Unlock()
+	if ok && l.release != nil {
+		l.release()
+	}
+	return ok
+}
+
+func (t *LeaseTable) removeLocked(l *lease) {
+	delete(t.leases, l.id)
+	if set := t.byHolder[l.holder]; set != nil {
+		delete(set, l.id)
+		if len(set) == 0 {
+			delete(t.byHolder, l.holder)
+		}
+	}
+}
+
+// Reap releases every expired lease and returns how many were collected.
+// A rejuvenation or maintenance loop calls this periodically.
+func (t *LeaseTable) Reap() int {
+	t.mu.Lock()
+	now := t.now()
+	var victims []*lease
+	for _, l := range t.leases {
+		if l.expires < now {
+			victims = append(victims, l)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, l := range victims {
+		t.removeLocked(l)
+	}
+	t.mu.Unlock()
+	for _, l := range victims {
+		if l.release != nil {
+			l.release()
+		}
+	}
+	return len(victims)
+}
+
+// ForceReleaseHolder releases every lease held by a component, regardless
+// of expiry; the microreboot machinery calls this so that a rebooted
+// component cannot leak resources acquired through the platform.
+func (t *LeaseTable) ForceReleaseHolder(holder string) int {
+	t.mu.Lock()
+	var victims []*lease
+	for id := range t.byHolder[holder] {
+		victims = append(victims, t.leases[id])
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, l := range victims {
+		t.removeLocked(l)
+	}
+	t.mu.Unlock()
+	for _, l := range victims {
+		if l.release != nil {
+			l.release()
+		}
+	}
+	return len(victims)
+}
+
+// Live reports the number of live leases, and how many are held by holder
+// when holder is non-empty.
+func (t *LeaseTable) Live(holder string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if holder == "" {
+		return len(t.leases)
+	}
+	return len(t.byHolder[holder])
+}
+
+// String summarizes the table for diagnostics.
+func (t *LeaseTable) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("leases{live=%d holders=%d}", len(t.leases), len(t.byHolder))
+}

@@ -1,0 +1,135 @@
+package ebid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+// WAR-served operations (static presentation data and session teardown).
+const (
+	OpHome       = "Home"
+	OpBrowseMenu = "BrowseMenu"
+	OpSellForm   = "SellForm"
+	OpPutBidAuth = "PutBidAuth" // static login form page
+	OpLogout     = "Logout"
+)
+
+// war is the web component: servlets that invoke the session components
+// and format results. Static presentation data is an in-memory read-only
+// file set (the paper keeps it on an Ext3FS filesystem, optionally
+// mounted read-only).
+type war struct {
+	env    *core.Env
+	static map[string]string
+}
+
+func newWARFactory() core.Factory {
+	return func() core.Component { return &war{} }
+}
+
+// Init implements core.Component.
+func (w *war) Init(env *core.Env) error {
+	w.env = env
+	w.static = map[string]string{
+		OpHome:       "<html>eBid home page</html>",
+		OpBrowseMenu: "<html>browse menu</html>",
+		OpSellForm:   "<html>sell item form</html>",
+		OpPutBidAuth: "<html>please log in to bid</html>",
+	}
+	return nil
+}
+
+// Stop implements core.Component.
+func (w *war) Stop() error { return nil }
+
+// Serve implements core.Component: the servlet dispatch.
+func (w *war) Serve(call *core.Call) (any, error) {
+	if page, ok := w.static[call.Op]; ok {
+		return page, nil
+	}
+	if call.Op == OpLogout {
+		store, err := sessionStore(w.env)
+		if err != nil {
+			return nil, err
+		}
+		if call.SessionID != "" {
+			if err := store.Delete(call.SessionID); err != nil {
+				return nil, err
+			}
+		}
+		return "<html>logged out</html>", nil
+	}
+	// Dynamic operations route to the session component of the same name.
+	c, err := w.env.Registry.Lookup(call.Op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Serve(call.Child(call.Op, call.Args))
+}
+
+// App bundles a deployed eBid application with its resources.
+type App struct {
+	Server   *core.Server
+	DB       *db.DB
+	Sessions session.Store
+	warName  string
+}
+
+// New builds a core.Server, deploys eBid on it, and returns the App.
+// The clock argument supplies virtual time (may be nil).
+func New(d *db.DB, sessions session.Store, clock func() time.Duration) (*App, error) {
+	opts := []core.Option{
+		core.WithResource(ResourceDB, d),
+		core.WithResource(ResourceSessions, sessions),
+		core.WithCostModel(CostModel{}),
+	}
+	if clock != nil {
+		opts = append(opts, core.WithClock(clock))
+	}
+	srv := core.NewServer(opts...)
+	app := &App{Server: srv, DB: d, Sessions: sessions, warName: WAR}
+	if err := srv.Deploy(Assemble()); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// Assemble returns the full eBid application descriptor set: 9 entity
+// components, 17 stateless session components, and the WAR.
+func Assemble() core.Application {
+	app := core.Application{Name: "eBid"}
+	app.Components = append(app.Components, entityDescriptors()...)
+	app.Components = append(app.Components, sessionDescriptors()...)
+	war := core.Descriptor{
+		Name:    WAR,
+		Kind:    core.Web,
+		Factory: newWARFactory(),
+	}
+	for _, d := range sessionDescriptors() {
+		war.Refs = append(war.Refs, d.Name)
+	}
+	app.Components = append(app.Components, war)
+	return app
+}
+
+// Execute runs one end-user operation through the WAR, returning the
+// response body.
+func (a *App) Execute(call *core.Call) (string, error) {
+	c, err := a.Server.Registry().Lookup(a.warName)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.Serve(call)
+	if err != nil {
+		return "", err
+	}
+	body, ok := res.(string)
+	if !ok {
+		return fmt.Sprint(res), nil
+	}
+	return body, nil
+}

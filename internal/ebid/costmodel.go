@@ -1,0 +1,170 @@
+// Package ebid implements the crash-only auction application of the
+// paper: a conversion of Rice University's RUBiS with the crash-only
+// changes described in Section 3.3. It maintains user accounts, supports
+// bidding/buying/selling of items, item search, customized summary
+// screens ("AboutMe") and user feedback pages.
+//
+// State segregation follows the paper exactly: long-term data lives in
+// the transactional database (internal/store/db), session data in a
+// dedicated session store (internal/store/session — FastS or SSM), and
+// static presentation data in an in-memory read-only file set standing in
+// for the read-only Ext3FS mount.
+//
+// The application consists of 9 entity components and 17 stateless
+// session components plus the WAR web component — the exact component
+// roster of Table 3.
+package ebid
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Component names, matching Table 3 of the paper.
+const (
+	AboutMe               = "AboutMe"
+	Authenticate          = "Authenticate"
+	BrowseCategories      = "BrowseCategories"
+	BrowseRegions         = "BrowseRegions"
+	BuyNow                = "BuyNow" // entity
+	CommitBid             = "CommitBid"
+	CommitBuyNow          = "CommitBuyNow"
+	CommitUserFeedback    = "CommitUserFeedback"
+	DoBuyNow              = "DoBuyNow"
+	IdentityManager       = "IdentityManager" // entity
+	LeaveUserFeedback     = "LeaveUserFeedback"
+	MakeBid               = "MakeBid"
+	OldItem               = "OldItem" // entity
+	RegisterNewItem       = "RegisterNewItem"
+	RegisterNewUser       = "RegisterNewUser"
+	SearchItemsByCategory = "SearchItemsByCategory"
+	SearchItemsByRegion   = "SearchItemsByRegion"
+	UserFeedback          = "UserFeedback" // entity
+	ViewBidHistory        = "ViewBidHistory"
+	ViewUserInfo          = "ViewUserInfo"
+	ViewItem              = "ViewItem"
+	WAR                   = "WAR"
+
+	// EntityGroup members: the five entity EJBs whose container-spanning
+	// relationships force them into one recovery group.
+	EntCategory = "Category"
+	EntRegion   = "Region"
+	EntUser     = "User"
+	EntItem     = "Item"
+	EntBid      = "Bid"
+)
+
+// EntityGroupMembers lists the recovery group that Table 3 calls
+// "EntityGroup": any µRB of one member reboots all five.
+var EntityGroupMembers = []string{EntBid, EntCategory, EntItem, EntRegion, EntUser}
+
+// recoveryCost holds one row of Table 3: measured crash and
+// reinitialization times under load.
+type recoveryCost struct {
+	crash  time.Duration
+	reinit time.Duration
+}
+
+// table3 reproduces the per-component recovery costs of Table 3
+// (averages across 10 trials on a single-node system under sustained load
+// from 500 concurrent clients).
+var table3 = map[string]recoveryCost{
+	AboutMe:               {9 * time.Millisecond, 542 * time.Millisecond},
+	Authenticate:          {12 * time.Millisecond, 479 * time.Millisecond},
+	BrowseCategories:      {11 * time.Millisecond, 400 * time.Millisecond},
+	BrowseRegions:         {15 * time.Millisecond, 401 * time.Millisecond},
+	BuyNow:                {9 * time.Millisecond, 462 * time.Millisecond},
+	CommitBid:             {8 * time.Millisecond, 525 * time.Millisecond},
+	CommitBuyNow:          {9 * time.Millisecond, 462 * time.Millisecond},
+	CommitUserFeedback:    {9 * time.Millisecond, 522 * time.Millisecond},
+	DoBuyNow:              {10 * time.Millisecond, 417 * time.Millisecond},
+	IdentityManager:       {10 * time.Millisecond, 451 * time.Millisecond},
+	LeaveUserFeedback:     {10 * time.Millisecond, 474 * time.Millisecond},
+	MakeBid:               {9 * time.Millisecond, 515 * time.Millisecond},
+	OldItem:               {10 * time.Millisecond, 519 * time.Millisecond},
+	RegisterNewItem:       {13 * time.Millisecond, 434 * time.Millisecond},
+	RegisterNewUser:       {13 * time.Millisecond, 588 * time.Millisecond},
+	SearchItemsByCategory: {14 * time.Millisecond, 428 * time.Millisecond},
+	SearchItemsByRegion:   {8 * time.Millisecond, 564 * time.Millisecond},
+	UserFeedback:          {11 * time.Millisecond, 472 * time.Millisecond},
+	ViewBidHistory:        {11 * time.Millisecond, 496 * time.Millisecond},
+	ViewUserInfo:          {10 * time.Millisecond, 405 * time.Millisecond},
+	ViewItem:              {10 * time.Millisecond, 436 * time.Millisecond},
+	WAR:                   {71 * time.Millisecond, 957 * time.Millisecond},
+}
+
+// entityGroupCost is the Table 3 "EntityGroup" row: the five entities
+// recover together, dominated by the group's joint reinitialization.
+var entityGroupCost = recoveryCost{36 * time.Millisecond, 789 * time.Millisecond}
+
+// Scope-level costs from Table 3: restarting the whole eBid application
+// is optimized to avoid restarting each individual EJB (7,699 ms), and a
+// JVM/JBoss process restart takes 19,083 ms. The node (OS reboot) figure
+// is the paper's qualitative "minutes" level.
+var scopeCosts = map[core.Scope]recoveryCost{
+	core.ScopeWAR:     {71 * time.Millisecond, 957 * time.Millisecond},
+	core.ScopeApp:     {33 * time.Millisecond, 7666 * time.Millisecond},
+	core.ScopeProcess: {0, 19083 * time.Millisecond},
+	core.ScopeNode:    {2 * time.Second, 100 * time.Second},
+}
+
+// CostModel implements core.CostModel with the calibrated Table 3 values.
+type CostModel struct{}
+
+var _ core.CostModel = CostModel{}
+
+// CrashTime returns the forced-shutdown duration for a component.
+func (CostModel) CrashTime(component string) time.Duration {
+	if isEntityGroupMember(component) {
+		return entityGroupCost.crash
+	}
+	if c, ok := table3[component]; ok {
+		return c.crash
+	}
+	return 10 * time.Millisecond
+}
+
+// ReinitTime returns the redeploy+reinitialize duration for a component.
+func (CostModel) ReinitTime(component string) time.Duration {
+	if isEntityGroupMember(component) {
+		return entityGroupCost.reinit
+	}
+	if c, ok := table3[component]; ok {
+		return c.reinit
+	}
+	return 490 * time.Millisecond
+}
+
+// ScopeTime returns the crash/reinit pair for coarse-grained reboots.
+func (CostModel) ScopeTime(s core.Scope) (time.Duration, time.Duration) {
+	if c, ok := scopeCosts[s]; ok {
+		return c.crash, c.reinit
+	}
+	return 10 * time.Millisecond, 490 * time.Millisecond
+}
+
+func isEntityGroupMember(name string) bool {
+	for _, m := range EntityGroupMembers {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Service-time calibration (Table 5): fault-free request latency averages
+// ~15 ms with FastS; externalizing session state to SSM adds marshalling
+// and network cost, bringing the average to ~28 ms. The microreboot
+// machinery itself costs about a millisecond of interceptor overhead.
+const (
+	// BaseServiceMean/Stddev model per-request CPU+DB time.
+	BaseServiceMean   = 14 * time.Millisecond
+	BaseServiceStddev = 5 * time.Millisecond
+	// SSMAccessCost is the extra marshal+network+unmarshal cost charged
+	// to each request that touches session state stored in SSM.
+	SSMAccessCost = 13 * time.Millisecond
+	// MicrorebootOverhead is the per-request interceptor overhead of the
+	// µRB-enabled server (JBossµRB vs JBoss in Table 5).
+	MicrorebootOverhead = 1 * time.Millisecond
+)

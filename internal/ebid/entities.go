@@ -1,0 +1,283 @@
+package ebid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/store/db"
+)
+
+// ResourceDB and ResourceSessions are the well-known Env resource keys
+// under which the application server exposes the persistence tier and the
+// session store to components.
+const (
+	ResourceDB       = "ebid.db"
+	ResourceSessions = "ebid.sessions"
+)
+
+// Entity operation names (the sub-operations session components invoke on
+// entity components through the naming service).
+const (
+	opLoad    = "load"
+	opCreate  = "create"
+	opUpdate  = "update"
+	opByIndex = "byIndex"
+	opList    = "list"
+	opNextID  = "next"
+)
+
+// errNotLoggedIn is surfaced when an operation requires session state
+// that does not exist (e.g. lost in a process restart).
+var errNotLoggedIn = errors.New("ebid: not logged in")
+
+// entity is the generic entity component: a persistent application object
+// whose instances map to rows of one table (container-managed
+// persistence). Higher-level operations are performed on it by stateless
+// session components.
+type entity struct {
+	table string
+	db    *db.DB
+	env   *core.Env
+}
+
+func newEntityFactory(table string) core.Factory {
+	return func() core.Component { return &entity{table: table} }
+}
+
+// Init implements core.Component.
+func (e *entity) Init(env *core.Env) error {
+	d, ok := core.Resource[*db.DB](env, ResourceDB)
+	if !ok {
+		return fmt.Errorf("ebid: entity %s: no database resource", e.table)
+	}
+	e.db = d
+	e.env = env
+	return nil
+}
+
+// Stop implements core.Component.
+func (e *entity) Stop() error { return nil }
+
+// tx returns the caller-supplied transaction, or starts an auto-commit
+// transaction. The returned done func commits auto transactions.
+func (e *entity) tx(call *core.Call) (tx *db.Tx, done func(err error) error, err error) {
+	if t, ok := core.Arg[*db.Tx](call, "tx"); ok && t != nil {
+		return t, func(err error) error { return err }, nil
+	}
+	t, err := e.db.Begin()
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, func(err error) error {
+		if err != nil {
+			_ = t.Abort()
+			return err
+		}
+		return t.Commit()
+	}, nil
+}
+
+// Serve implements core.Component: the entity sub-operations.
+func (e *entity) Serve(call *core.Call) (any, error) {
+	tx, done, err := e.tx(call)
+	if err != nil {
+		return nil, err
+	}
+	var res any
+	switch call.Op {
+	case opLoad:
+		key, ok := core.Arg[int64](call, "key")
+		if !ok {
+			return nil, done(fmt.Errorf("ebid: %s load: missing key", e.table))
+		}
+		res, err = tx.Get(e.table, key)
+	case opCreate:
+		row, ok := core.Arg[db.Row](call, "row")
+		if !ok {
+			return nil, done(fmt.Errorf("ebid: %s create: missing row", e.table))
+		}
+		if key, haveKey := core.Arg[int64](call, "key"); haveKey {
+			err = tx.InsertWithKey(e.table, key, row)
+			res = key
+		} else {
+			res, err = tx.Insert(e.table, row)
+		}
+	case opUpdate:
+		key, ok := core.Arg[int64](call, "key")
+		if !ok {
+			return nil, done(fmt.Errorf("ebid: %s update: missing key", e.table))
+		}
+		row, ok := core.Arg[db.Row](call, "row")
+		if !ok {
+			return nil, done(fmt.Errorf("ebid: %s update: missing row", e.table))
+		}
+		err = tx.Update(e.table, key, row)
+	case opByIndex:
+		col, _ := core.Arg[string](call, "col")
+		val := call.Args["val"]
+		res, err = tx.Lookup(e.table, col, val)
+	case opList:
+		limit, _ := core.Arg[int](call, "limit")
+		if limit <= 0 {
+			limit = 20
+		}
+		var rows []db.Row
+		err = tx.Scan(e.table, func(k int64, r db.Row) bool {
+			rr := db.Row{"_key": k}
+			for c, v := range r {
+				rr[c] = v
+			}
+			rows = append(rows, rr)
+			return len(rows) < limit
+		})
+		res = rows
+	default:
+		return nil, done(fmt.Errorf("ebid: %s: unknown entity op %q", e.table, call.Op))
+	}
+	return res, done(err)
+}
+
+// idManager is the IdentityManager entity: it generates the
+// application-specific primary keys identifying rows that correspond to
+// entity instances. Table 2's "corrupt primary keys" faults target this
+// component's data handling.
+type idManager struct {
+	db  *db.DB
+	env *core.Env
+	// seqKeys caches the id_seq row key per kind (volatile instance
+	// state, rebuilt on Init — hence restored by a µRB).
+	seqKeys map[string]int64
+}
+
+func newIDManagerFactory() core.Factory {
+	return func() core.Component { return &idManager{} }
+}
+
+// Init implements core.Component.
+func (m *idManager) Init(env *core.Env) error {
+	d, ok := core.Resource[*db.DB](env, ResourceDB)
+	if !ok {
+		return errors.New("ebid: IdentityManager: no database resource")
+	}
+	m.db = d
+	m.env = env
+	m.seqKeys = map[string]int64{}
+	tx, err := d.Begin()
+	if err != nil {
+		// The database may be briefly down (crash-recovery window);
+		// the cache is rebuilt lazily in that case.
+		return nil
+	}
+	defer tx.Abort()
+	_ = tx.Scan(TblIDSeq, func(k int64, r db.Row) bool {
+		if kind, ok := r["kind"].(string); ok {
+			m.seqKeys[kind] = k
+		}
+		return true
+	})
+	return nil
+}
+
+// Stop implements core.Component.
+func (m *idManager) Stop() error { return nil }
+
+// Serve implements core.Component: op "next" allocates the next id for a
+// kind, transactionally.
+func (m *idManager) Serve(call *core.Call) (any, error) {
+	if call.Op != opNextID {
+		return nil, fmt.Errorf("ebid: IdentityManager: unknown op %q", call.Op)
+	}
+	kind, ok := core.Arg[string](call, "kind")
+	if !ok {
+		return nil, errors.New("ebid: IdentityManager: missing kind")
+	}
+	tx, autoCommit := core.Arg[*db.Tx](call, "tx")
+	var err error
+	if !autoCommit || tx == nil {
+		tx, err = m.db.Begin()
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if !tx.Done() {
+				_ = tx.Commit()
+			}
+		}()
+	}
+	seqKey, ok := m.seqKeys[kind]
+	if !ok {
+		// Lazy rebuild after a recovery window.
+		keys, err := tx.Lookup(TblIDSeq, "kind", kind)
+		if err != nil || len(keys) == 0 {
+			return nil, fmt.Errorf("ebid: IdentityManager: unknown kind %q", kind)
+		}
+		seqKey = keys[0]
+		m.seqKeys[kind] = seqKey
+	}
+	row, err := tx.Get(TblIDSeq, seqKey)
+	if err != nil {
+		return nil, err
+	}
+	next := row["next"].(int64)
+	row["next"] = next + 1
+	if err := tx.Update(TblIDSeq, seqKey, row); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// entityDescriptors returns the deployment descriptors for the nine
+// entity components. The five EntityGroup members carry hard references
+// to one another (container-spanning metadata relationships), which the
+// server's transitive closure turns into the EntityGroup of Table 3.
+func entityDescriptors() []core.Descriptor {
+	entityFor := map[string]string{
+		EntUser:      TblUsers,
+		EntItem:      TblItems,
+		EntBid:       TblBids,
+		EntCategory:  TblCategories,
+		EntRegion:    TblRegions,
+		BuyNow:       TblBuys,
+		OldItem:      TblOldItems,
+		UserFeedback: TblFeedback,
+	}
+	txm := map[string]core.TxAttr{
+		opLoad:    core.TxSupports,
+		opCreate:  core.TxRequired,
+		opUpdate:  core.TxRequired,
+		opByIndex: core.TxSupports,
+		opList:    core.TxSupports,
+	}
+	var out []core.Descriptor
+	for _, name := range []string{EntUser, EntItem, EntBid, EntCategory, EntRegion, BuyNow, OldItem, UserFeedback} {
+		d := core.Descriptor{
+			Name:      name,
+			Kind:      core.Entity,
+			Factory:   newEntityFactory(entityFor[name]),
+			TxMethods: txm,
+		}
+		if isEntityGroupMember(name) {
+			// Chain the group members so their transitive closure is
+			// the full EntityGroup: Bid→Item→User→Category→Region.
+			switch name {
+			case EntBid:
+				d.HardRefs = []string{EntItem}
+			case EntItem:
+				d.HardRefs = []string{EntUser}
+			case EntUser:
+				d.HardRefs = []string{EntCategory}
+			case EntCategory:
+				d.HardRefs = []string{EntRegion}
+			}
+		}
+		out = append(out, d)
+	}
+	out = append(out, core.Descriptor{
+		Name:      IdentityManager,
+		Kind:      core.Entity,
+		Factory:   newIDManagerFactory(),
+		TxMethods: map[string]core.TxAttr{opNextID: core.TxRequired},
+	})
+	return out
+}

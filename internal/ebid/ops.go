@@ -1,0 +1,141 @@
+package ebid
+
+import "sort"
+
+// Functional groups used in Figure 2 of the paper.
+const (
+	GroupBidBuySell  = "Bid/Buy/Sell"
+	GroupBrowseView  = "Browse/View"
+	GroupSearch      = "Search"
+	GroupUserAccount = "User Account"
+)
+
+// Category labels of Table 1 (the client workload mix).
+const (
+	CatReadOnlyDB    = "Read-only DB access"
+	CatSessionInit   = "Initialization/deletion of session state"
+	CatStatic        = "Exclusively static HTML content"
+	CatSearch        = "Search"
+	CatSessionUpdate = "Session state updates"
+	CatDBUpdate      = "Database updates"
+)
+
+// OpInfo is the static metadata of one end-user operation, derived from
+// the application's structure: the recovery manager's URL→component-path
+// mapping, the Figure 2 functional grouping, the Table 1 workload
+// category, idempotency (for HTTP Retry-After), session requirements, and
+// whether the operation is a commit point of a user action.
+type OpInfo struct {
+	Name string
+	// Path is the static call path: servlet plus the components the
+	// operation touches (derived by static analysis of the refs, as the
+	// paper derives it from URL prefixes).
+	Path []string
+	// Group is the Figure 2 functional group.
+	Group string
+	// Category is the Table 1 workload category.
+	Category string
+	// Idempotent operations can be transparently retried after a 503.
+	Idempotent bool
+	// NeedsSession marks operations that fail without session state.
+	NeedsSession bool
+	// CommitPoint marks operations that complete a user action.
+	CommitPoint bool
+}
+
+// ops is the static operation table.
+var ops = map[string]OpInfo{
+	OpHome:       {Group: GroupBrowseView, Category: CatStatic, Idempotent: true, Path: []string{WAR}},
+	OpBrowseMenu: {Group: GroupBrowseView, Category: CatStatic, Idempotent: true, Path: []string{WAR}},
+	OpSellForm:   {Group: GroupBidBuySell, Category: CatStatic, Idempotent: true, Path: []string{WAR}},
+	OpPutBidAuth: {Group: GroupUserAccount, Category: CatStatic, Idempotent: true, Path: []string{WAR}},
+	OpLogout:     {Group: GroupUserAccount, Category: CatSessionInit, CommitPoint: true, Path: []string{WAR}},
+
+	Authenticate:    {Group: GroupUserAccount, Category: CatSessionInit, Idempotent: true, CommitPoint: true},
+	RegisterNewUser: {Group: GroupUserAccount, Category: CatSessionInit, CommitPoint: true},
+
+	BrowseCategories: {Group: GroupBrowseView, Category: CatReadOnlyDB, Idempotent: true},
+	BrowseRegions:    {Group: GroupBrowseView, Category: CatReadOnlyDB, Idempotent: true},
+	ViewItem:         {Group: GroupBrowseView, Category: CatReadOnlyDB, Idempotent: true},
+	ViewUserInfo:     {Group: GroupBrowseView, Category: CatReadOnlyDB, Idempotent: true},
+	ViewBidHistory:   {Group: GroupBrowseView, Category: CatReadOnlyDB, Idempotent: true},
+	AboutMe:          {Group: GroupUserAccount, Category: CatReadOnlyDB, Idempotent: true, NeedsSession: true, CommitPoint: true},
+
+	SearchItemsByCategory: {Group: GroupSearch, Category: CatSearch, Idempotent: true},
+	SearchItemsByRegion:   {Group: GroupSearch, Category: CatSearch, Idempotent: true},
+
+	MakeBid:           {Group: GroupBidBuySell, Category: CatSessionUpdate, NeedsSession: true},
+	DoBuyNow:          {Group: GroupBidBuySell, Category: CatSessionUpdate, NeedsSession: true},
+	LeaveUserFeedback: {Group: GroupUserAccount, Category: CatSessionUpdate, NeedsSession: true},
+
+	CommitBid:          {Group: GroupBidBuySell, Category: CatDBUpdate, NeedsSession: true, CommitPoint: true},
+	CommitBuyNow:       {Group: GroupBidBuySell, Category: CatDBUpdate, NeedsSession: true, CommitPoint: true},
+	CommitUserFeedback: {Group: GroupUserAccount, Category: CatDBUpdate, NeedsSession: true, CommitPoint: true},
+	RegisterNewItem:    {Group: GroupBidBuySell, Category: CatDBUpdate, NeedsSession: true, CommitPoint: true},
+}
+
+func init() {
+	// Fill names and derive call paths from the deployment descriptors'
+	// loose references: WAR → session component → entities.
+	refs := map[string][]string{}
+	for _, d := range sessionDescriptors() {
+		refs[d.Name] = d.Refs
+	}
+	for name, info := range ops {
+		info.Name = name
+		if len(info.Path) == 0 {
+			path := []string{WAR, name}
+			path = append(path, refs[name]...)
+			// Expand EntityGroup membership: touching one member means a
+			// group µRB touches this path.
+			info.Path = path
+		}
+		ops[name] = info
+	}
+}
+
+// Info returns the metadata for an operation; ok is false for unknown
+// operations.
+func Info(op string) (OpInfo, bool) {
+	i, ok := ops[op]
+	return i, ok
+}
+
+// Operations returns all operation names, sorted.
+func Operations() []string {
+	names := make([]string, 0, len(ops))
+	for n := range ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PathFor returns the static call path for an operation (empty for
+// unknown operations). The recovery manager uses this as its URL→path
+// mapping.
+func PathFor(op string) []string {
+	if i, ok := ops[op]; ok {
+		return append([]string(nil), i.Path...)
+	}
+	return nil
+}
+
+// Touches reports whether an operation's static path includes the named
+// component, counting EntityGroup expansion: an op that touches one group
+// member is disturbed when any member reboots.
+func Touches(op, component string) bool {
+	info, ok := ops[op]
+	if !ok {
+		return false
+	}
+	for _, p := range info.Path {
+		if p == component {
+			return true
+		}
+		if isEntityGroupMember(p) && isEntityGroupMember(component) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,602 @@
+package ebid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+// invokeEntity performs an inter-component call through the naming
+// service, deriving a child call so the whole request shares one shepherd.
+func invokeEntity(env *core.Env, call *core.Call, entityName, op string, args map[string]any) (any, error) {
+	c, err := env.Registry.Lookup(entityName)
+	if err != nil {
+		return nil, err
+	}
+	return c.Serve(call.Child(op, args))
+}
+
+// sessionStore fetches the session store resource.
+func sessionStore(env *core.Env) (session.Store, error) {
+	s, ok := core.Resource[session.Store](env, ResourceSessions)
+	if !ok {
+		return nil, errors.New("ebid: no session store resource")
+	}
+	return s, nil
+}
+
+// loadSession reads the caller's session; a missing session surfaces as
+// errNotLoggedIn (the "prompted to log in when already logged in" symptom
+// end users see after session loss).
+func loadSession(env *core.Env, call *core.Call) (*session.Session, session.Store, error) {
+	store, err := sessionStore(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	if call.SessionID == "" {
+		return nil, nil, errNotLoggedIn
+	}
+	s, err := store.Read(call.SessionID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errNotLoggedIn, err)
+	}
+	if s.UserID <= 0 {
+		// Corrupted (nulled or invalidated) session data.
+		return nil, nil, fmt.Errorf("ebid: session corrupt: bad userID %d", s.UserID)
+	}
+	return s, store, nil
+}
+
+// sessionComponent implements one end-user operation as a stateless
+// session component: its Serve delegates to the op function.
+type sessionComponent struct {
+	name string
+	op   func(env *core.Env, call *core.Call) (any, error)
+	env  *core.Env
+}
+
+func (s *sessionComponent) Init(env *core.Env) error { s.env = env; return nil }
+func (s *sessionComponent) Stop() error              { return nil }
+func (s *sessionComponent) Serve(call *core.Call) (any, error) {
+	return s.op(s.env, call)
+}
+
+// beginTx starts a transaction on behalf of the named component and
+// registers it with the server so that a µRB of the component aborts it.
+func beginTx(env *core.Env, name string) (*db.Tx, func(err error) error, error) {
+	d, ok := core.Resource[*db.DB](env, ResourceDB)
+	if !ok {
+		return nil, nil, errors.New("ebid: no database resource")
+	}
+	tx, err := d.Begin()
+	if err != nil {
+		return nil, nil, err
+	}
+	env.Server.RegisterTx(name, tx)
+	finish := func(opErr error) error {
+		defer env.Server.ReleaseTx(name, tx)
+		if tx.Done() {
+			// Aborted under us (µRB rollback).
+			if opErr == nil {
+				opErr = errors.New("ebid: transaction aborted during recovery")
+			}
+			return opErr
+		}
+		if opErr != nil {
+			_ = tx.Abort()
+			return opErr
+		}
+		return tx.Commit()
+	}
+	return tx, finish, nil
+}
+
+// Each op* function below implements one Table 3 stateless session
+// component.
+
+func opAuthenticate(env *core.Env, call *core.Call) (any, error) {
+	userID, ok := core.Arg[int64](call, "user")
+	if !ok || userID <= 0 {
+		return nil, errors.New("ebid: Authenticate: bad user id")
+	}
+	res, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": userID})
+	if err != nil {
+		return nil, fmt.Errorf("ebid: Authenticate: %w", err)
+	}
+	row := res.(db.Row)
+	store, err := sessionStore(env)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session.Session{
+		ID:      call.SessionID,
+		UserID:  userID,
+		Data:    map[string]string{"nickname": row["nickname"].(string)},
+		Created: env.Now(),
+	}
+	if err := store.Write(sess); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>welcome %s (user %d)</html>", row["nickname"], userID), nil
+}
+
+func opAboutMe(env *core.Env, call *core.Call) (any, error) {
+	sess, _, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	userRes, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": sess.UserID})
+	if err != nil {
+		return nil, err
+	}
+	bids, err := invokeEntity(env, call, EntBid, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
+	if err != nil {
+		return nil, err
+	}
+	buys, err := invokeEntity(env, call, BuyNow, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
+	if err != nil {
+		return nil, err
+	}
+	row := userRes.(db.Row)
+	return fmt.Sprintf("<html>about user %d (%s): %d bids, %d buys</html>",
+		sess.UserID, row["nickname"], len(bids.([]int64)), len(buys.([]int64))), nil
+}
+
+func opBrowseCategories(env *core.Env, call *core.Call) (any, error) {
+	res, err := invokeEntity(env, call, EntCategory, opList, map[string]any{"limit": 20})
+	if err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>%d categories</html>", len(res.([]db.Row))), nil
+}
+
+func opBrowseRegions(env *core.Env, call *core.Call) (any, error) {
+	res, err := invokeEntity(env, call, EntRegion, opList, map[string]any{"limit": 62})
+	if err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>%d regions</html>", len(res.([]db.Row))), nil
+}
+
+func searchItems(env *core.Env, call *core.Call, col string, argKey string) (any, error) {
+	val, ok := core.Arg[int64](call, argKey)
+	if !ok || val <= 0 {
+		val = 1
+	}
+	keys, err := invokeEntity(env, call, EntItem, opByIndex, map[string]any{"col": col, "val": val})
+	if err != nil {
+		return nil, err
+	}
+	ids := keys.([]int64)
+	shown := len(ids)
+	if shown > 10 {
+		shown = 10
+	}
+	// Load the first page of results.
+	for _, id := range ids[:shown] {
+		if _, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": id}); err != nil {
+			return nil, err
+		}
+	}
+	return fmt.Sprintf("<html>search %s=%d: %d items</html>", col, val, len(ids)), nil
+}
+
+func opSearchItemsByCategory(env *core.Env, call *core.Call) (any, error) {
+	return searchItems(env, call, "category", "category")
+}
+
+func opSearchItemsByRegion(env *core.Env, call *core.Call) (any, error) {
+	return searchItems(env, call, "region", "region")
+}
+
+func opViewItem(env *core.Env, call *core.Call) (any, error) {
+	itemID, ok := core.Arg[int64](call, "item")
+	if !ok || itemID <= 0 {
+		itemID = 1
+	}
+	res, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID})
+	if err != nil {
+		// Ended auctions move to OldItem.
+		old, oldErr := invokeEntity(env, call, OldItem, opLoad, map[string]any{"key": itemID})
+		if oldErr != nil {
+			return nil, err
+		}
+		row := old.(db.Row)
+		return fmt.Sprintf("<html>old item %d: %s sold at %.2f</html>", itemID, row["name"], row["final_price"]), nil
+	}
+	row := res.(db.Row)
+	return fmt.Sprintf("<html>item %d: %s, max bid %.2f, %d bids</html>",
+		itemID, row["name"], row["max_bid"], row["nb_bids"]), nil
+}
+
+func opViewUserInfo(env *core.Env, call *core.Call) (any, error) {
+	userID, ok := core.Arg[int64](call, "user")
+	if !ok || userID <= 0 {
+		userID = 1
+	}
+	res, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": userID})
+	if err != nil {
+		return nil, err
+	}
+	fb, err := invokeEntity(env, call, UserFeedback, opByIndex, map[string]any{"col": "to_user", "val": userID})
+	if err != nil {
+		return nil, err
+	}
+	row := res.(db.Row)
+	return fmt.Sprintf("<html>user %d (%s), rating %d, %d comments</html>",
+		userID, row["nickname"], row["rating"], len(fb.([]int64))), nil
+}
+
+func opViewBidHistory(env *core.Env, call *core.Call) (any, error) {
+	itemID, ok := core.Arg[int64](call, "item")
+	if !ok || itemID <= 0 {
+		itemID = 1
+	}
+	keys, err := invokeEntity(env, call, EntBid, opByIndex, map[string]any{"col": "item", "val": itemID})
+	if err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>item %d bid history: %d bids</html>", itemID, len(keys.([]int64))), nil
+}
+
+func opMakeBid(env *core.Env, call *core.Call) (any, error) {
+	sess, store, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	itemID, ok := core.Arg[int64](call, "item")
+	if !ok || itemID <= 0 {
+		itemID = 1
+	}
+	if _, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
+		return nil, err
+	}
+	sess.Items = append(sess.Items, itemID)
+	sess.Data["intent"] = "bid"
+	if err := store.Write(sess); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>bid form for item %d</html>", itemID), nil
+}
+
+func opCommitBid(env *core.Env, call *core.Call) (any, error) {
+	sess, store, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	if len(sess.Items) == 0 {
+		return nil, errors.New("ebid: CommitBid: no item selected")
+	}
+	itemID := sess.Items[len(sess.Items)-1]
+	amount, ok := core.Arg[float64](call, "amount")
+	if !ok || amount <= 0 {
+		amount = 1
+	}
+	tx, finish, err := beginTx(env, CommitBid)
+	if err != nil {
+		return nil, err
+	}
+	err = func() error {
+		bidID, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "bid", "tx": tx})
+		if err != nil {
+			return err
+		}
+		id, ok := bidID.(int64)
+		if !ok || id <= 0 || id > MaxUserID {
+			return fmt.Errorf("ebid: CommitBid: bad primary key %v", bidID)
+		}
+		row := db.Row{"user": sess.UserID, "item": itemID, "amount": amount}
+		if _, err := invokeEntity(env, call, EntBid, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+			return err
+		}
+		itemRes, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
+		if err != nil {
+			return err
+		}
+		item := itemRes.(db.Row)
+		if amount > item["max_bid"].(float64) {
+			item["max_bid"] = amount
+		}
+		item["nb_bids"] = item["nb_bids"].(int64) + 1
+		_, err = invokeEntity(env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
+		return err
+	}()
+	if err := finish(err); err != nil {
+		return nil, err
+	}
+	sess.Items = sess.Items[:len(sess.Items)-1]
+	delete(sess.Data, "intent")
+	_ = store.Write(sess)
+	return fmt.Sprintf("<html>bid committed on item %d for %.2f</html>", itemID, amount), nil
+}
+
+func opDoBuyNow(env *core.Env, call *core.Call) (any, error) {
+	sess, store, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	itemID, ok := core.Arg[int64](call, "item")
+	if !ok || itemID <= 0 {
+		itemID = 1
+	}
+	if _, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
+		return nil, err
+	}
+	sess.Items = append(sess.Items, itemID)
+	sess.Data["intent"] = "buy"
+	if err := store.Write(sess); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>buy-now form for item %d</html>", itemID), nil
+}
+
+func opCommitBuyNow(env *core.Env, call *core.Call) (any, error) {
+	sess, store, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	if len(sess.Items) == 0 {
+		return nil, errors.New("ebid: CommitBuyNow: no item selected")
+	}
+	itemID := sess.Items[len(sess.Items)-1]
+	tx, finish, err := beginTx(env, CommitBuyNow)
+	if err != nil {
+		return nil, err
+	}
+	err = func() error {
+		buyID, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "buy", "tx": tx})
+		if err != nil {
+			return err
+		}
+		id, ok := buyID.(int64)
+		if !ok || id <= 0 || id > MaxUserID {
+			return fmt.Errorf("ebid: CommitBuyNow: bad primary key %v", buyID)
+		}
+		row := db.Row{"user": sess.UserID, "item": itemID, "quantity": int64(1)}
+		if _, err := invokeEntity(env, call, BuyNow, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+			return err
+		}
+		itemRes, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
+		if err != nil {
+			return err
+		}
+		item := itemRes.(db.Row)
+		if q := item["quantity"].(int64); q > 0 {
+			item["quantity"] = q - 1
+		}
+		_, err = invokeEntity(env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
+		return err
+	}()
+	if err := finish(err); err != nil {
+		return nil, err
+	}
+	sess.Items = sess.Items[:len(sess.Items)-1]
+	delete(sess.Data, "intent")
+	_ = store.Write(sess)
+	return fmt.Sprintf("<html>purchase committed for item %d</html>", itemID), nil
+}
+
+func opLeaveUserFeedback(env *core.Env, call *core.Call) (any, error) {
+	sess, store, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	target, ok := core.Arg[int64](call, "user")
+	if !ok || target <= 0 {
+		target = 1
+	}
+	if _, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": target}); err != nil {
+		return nil, err
+	}
+	sess.Data["fbTarget"] = fmt.Sprint(target)
+	if err := store.Write(sess); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>feedback form for user %d</html>", target), nil
+}
+
+func opCommitUserFeedback(env *core.Env, call *core.Call) (any, error) {
+	sess, store, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	targetStr, ok := sess.Data["fbTarget"]
+	if !ok {
+		return nil, errors.New("ebid: CommitUserFeedback: no feedback target")
+	}
+	var target int64
+	if _, err := fmt.Sscan(targetStr, &target); err != nil || target <= 0 {
+		return nil, fmt.Errorf("ebid: CommitUserFeedback: bad target %q", targetStr)
+	}
+	rating, ok := core.Arg[int64](call, "rating")
+	if !ok || rating < -5 || rating > 5 {
+		rating = 1
+	}
+	tx, finish, err := beginTx(env, CommitUserFeedback)
+	if err != nil {
+		return nil, err
+	}
+	err = func() error {
+		fbID, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "fb", "tx": tx})
+		if err != nil {
+			return err
+		}
+		id, ok := fbID.(int64)
+		if !ok || id <= 0 || id > MaxUserID {
+			return fmt.Errorf("ebid: CommitUserFeedback: bad primary key %v", fbID)
+		}
+		row := db.Row{"from_user": sess.UserID, "to_user": target, "rating": rating, "comment": "ok"}
+		if _, err := invokeEntity(env, call, UserFeedback, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+			return err
+		}
+		userRes, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": target, "tx": tx})
+		if err != nil {
+			return err
+		}
+		user := userRes.(db.Row)
+		user["rating"] = user["rating"].(int64) + rating
+		_, err = invokeEntity(env, call, EntUser, opUpdate, map[string]any{"key": target, "row": user, "tx": tx})
+		return err
+	}()
+	if err := finish(err); err != nil {
+		return nil, err
+	}
+	delete(sess.Data, "fbTarget")
+	_ = store.Write(sess)
+	return fmt.Sprintf("<html>feedback committed for user %d</html>", target), nil
+}
+
+func opRegisterNewUser(env *core.Env, call *core.Call) (any, error) {
+	region, ok := core.Arg[int64](call, "region")
+	if !ok || region <= 0 {
+		region = 1
+	}
+	tx, finish, err := beginTx(env, RegisterNewUser)
+	if err != nil {
+		return nil, err
+	}
+	var newID int64
+	err = func() error {
+		idRes, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "user", "tx": tx})
+		if err != nil {
+			return err
+		}
+		id, ok := idRes.(int64)
+		if !ok || id <= 0 || id > MaxUserID {
+			return fmt.Errorf("ebid: RegisterNewUser: bad primary key %v", idRes)
+		}
+		newID = id
+		row := db.Row{
+			"nickname": fmt.Sprintf("user%d", id),
+			"rating":   int64(0),
+			"region":   region,
+			"balance":  float64(100),
+		}
+		_, err = invokeEntity(env, call, EntUser, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
+		return err
+	}()
+	if err := finish(err); err != nil {
+		return nil, err
+	}
+	// Auto-login the new user.
+	store, err := sessionStore(env)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session.Session{
+		ID:      call.SessionID,
+		UserID:  newID,
+		Data:    map[string]string{"nickname": fmt.Sprintf("user%d", newID)},
+		Created: env.Now(),
+	}
+	if err := store.Write(sess); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>registered user %d</html>", newID), nil
+}
+
+func opRegisterNewItem(env *core.Env, call *core.Call) (any, error) {
+	sess, _, err := loadSession(env, call)
+	if err != nil {
+		return nil, err
+	}
+	category, ok := core.Arg[int64](call, "category")
+	if !ok || category <= 0 {
+		category = 1
+	}
+	tx, finish, err := beginTx(env, RegisterNewItem)
+	if err != nil {
+		return nil, err
+	}
+	var newID int64
+	err = func() error {
+		idRes, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "item", "tx": tx})
+		if err != nil {
+			return err
+		}
+		id, ok := idRes.(int64)
+		if !ok || id <= 0 || id > MaxUserID {
+			return fmt.Errorf("ebid: RegisterNewItem: bad primary key %v", idRes)
+		}
+		newID = id
+		row := db.Row{
+			"name":     fmt.Sprintf("item-%d", id),
+			"seller":   sess.UserID,
+			"category": category,
+			"region":   int64(1),
+			"price":    float64(10),
+			"max_bid":  float64(0),
+			"nb_bids":  int64(0),
+			"quantity": int64(1),
+		}
+		_, err = invokeEntity(env, call, EntItem, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
+		return err
+	}()
+	if err := finish(err); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("<html>registered item %d</html>", newID), nil
+}
+
+// sessionDescriptors returns the deployment descriptors for the 17
+// stateless session components.
+func sessionDescriptors() []core.Descriptor {
+	ops := map[string]func(*core.Env, *core.Call) (any, error){
+		AboutMe:               opAboutMe,
+		Authenticate:          opAuthenticate,
+		BrowseCategories:      opBrowseCategories,
+		BrowseRegions:         opBrowseRegions,
+		CommitBid:             opCommitBid,
+		CommitBuyNow:          opCommitBuyNow,
+		CommitUserFeedback:    opCommitUserFeedback,
+		DoBuyNow:              opDoBuyNow,
+		LeaveUserFeedback:     opLeaveUserFeedback,
+		MakeBid:               opMakeBid,
+		RegisterNewItem:       opRegisterNewItem,
+		RegisterNewUser:       opRegisterNewUser,
+		SearchItemsByCategory: opSearchItemsByCategory,
+		SearchItemsByRegion:   opSearchItemsByRegion,
+		ViewBidHistory:        opViewBidHistory,
+		ViewUserInfo:          opViewUserInfo,
+		ViewItem:              opViewItem,
+	}
+	// Loose references (resolved through the naming service); these feed
+	// the recovery manager's URL→path mapping but do NOT merge recovery
+	// groups.
+	refs := map[string][]string{
+		AboutMe:               {EntUser, EntBid, BuyNow},
+		Authenticate:          {EntUser},
+		BrowseCategories:      {EntCategory},
+		BrowseRegions:         {EntRegion},
+		CommitBid:             {IdentityManager, EntBid, EntItem},
+		CommitBuyNow:          {IdentityManager, BuyNow, EntItem},
+		CommitUserFeedback:    {IdentityManager, UserFeedback, EntUser},
+		DoBuyNow:              {EntItem},
+		LeaveUserFeedback:     {EntUser},
+		MakeBid:               {EntItem},
+		RegisterNewItem:       {IdentityManager, EntItem},
+		RegisterNewUser:       {IdentityManager, EntUser},
+		SearchItemsByCategory: {EntItem},
+		SearchItemsByRegion:   {EntItem},
+		ViewBidHistory:        {EntBid},
+		ViewUserInfo:          {EntUser, UserFeedback},
+		ViewItem:              {EntItem, OldItem},
+	}
+	var out []core.Descriptor
+	for name, fn := range ops {
+		name, fn := name, fn
+		out = append(out, core.Descriptor{
+			Name: name,
+			Kind: core.StatelessSession,
+			Refs: refs[name],
+			Factory: func() core.Component {
+				return &sessionComponent{name: name, op: fn}
+			},
+			TxMethods: map[string]core.TxAttr{name: core.TxRequired},
+		})
+	}
+	return out
+}

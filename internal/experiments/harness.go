@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 5 and 6). Each exported function runs one
+// experiment on the simulation substrate and returns a structured result
+// whose String method prints the same rows/series the paper reports.
+//
+// Absolute numbers are produced by the calibrated simulator, not the
+// authors' 2004 testbed; EXPERIMENTS.md records paper-vs-measured values
+// and verifies that the shape of every result (who wins, by what factor,
+// where crossovers fall) is preserved.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ebid"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+	"repro/internal/workload"
+)
+
+// Options scales experiments; Quick shrinks durations and populations so
+// the full suite runs in seconds (used by tests and benchmarks).
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// scale shortens a duration in quick mode.
+func (o Options) scale(d time.Duration) time.Duration {
+	if o.Quick {
+		return d / 4
+	}
+	return d
+}
+
+func (o Options) clients(n int) int {
+	if o.Quick {
+		return n / 2
+	}
+	return n
+}
+
+// env is a single-node experiment environment.
+type env struct {
+	kernel   *sim.Kernel
+	db       *db.DB
+	store    session.Store
+	node     *cluster.Node
+	recorder *metrics.Recorder
+	emulator *workload.Emulator
+	injector *faults.Injector
+}
+
+// storeKind selects the session store.
+type storeKind int
+
+const (
+	useFastS storeKind = iota
+	useSSM
+)
+
+func experimentDataset(o Options) ebid.DatasetConfig {
+	cfg := ebid.DefaultDataset()
+	if o.Quick {
+		cfg.Users, cfg.Items, cfg.OldItems = 100, 500, 50
+	}
+	return cfg
+}
+
+// newEnv builds a one-node environment with an emulated client
+// population.
+func newEnv(o Options, clients int, kind storeKind, nodeCfg cluster.NodeConfig) *env {
+	k := sim.NewKernel(o.seed())
+	d := db.New(nil)
+	ds := experimentDataset(o)
+	if err := ebid.LoadDataset(d, ds); err != nil {
+		panic("experiments: dataset: " + err.Error())
+	}
+	var store session.Store
+	if kind == useSSM {
+		store = session.NewSSM(k.Now, time.Hour)
+	} else {
+		store = session.NewFastS()
+	}
+	nodeCfg.Dataset = ds
+	if nodeCfg.Name == "" {
+		nodeCfg.Name = "node0"
+	}
+	n, err := cluster.NewNode(k, d, store, nodeCfg)
+	if err != nil {
+		panic("experiments: node: " + err.Error())
+	}
+	rec := metrics.NewRecorder(time.Second, 8*time.Second)
+	em := workload.NewEmulator(k, n, rec, workload.Config{
+		Clients:    clients,
+		Users:      int64(ds.Users),
+		Items:      int64(ds.Items),
+		Categories: int64(ds.Categories),
+		Regions:    int64(ds.Regions),
+	})
+	return &env{
+		kernel:   k,
+		db:       d,
+		store:    store,
+		node:     n,
+		recorder: rec,
+		emulator: em,
+		injector: faults.NewInjector(n.Server(), d, store),
+	}
+}
+
+// clusterEnv is a multi-node environment sharing one database (and one
+// SSM when requested), with a load balancer in front.
+type clusterEnv struct {
+	kernel   *sim.Kernel
+	db       *db.DB
+	nodes    []*cluster.Node
+	lb       *cluster.LoadBalancer
+	recorder *metrics.Recorder
+	emulator *workload.Emulator
+	// injectors, one per node.
+	injectors []*faults.Injector
+	sharedSSM *session.SSM
+}
+
+func newClusterEnv(o Options, nNodes, clientsPerNode int, kind storeKind) *clusterEnv {
+	return newClusterEnvCfg(o, nNodes, clientsPerNode, kind, cluster.NodeConfig{})
+}
+
+func newClusterEnvCfg(o Options, nNodes, clientsPerNode int, kind storeKind, nodeCfg cluster.NodeConfig) *clusterEnv {
+	k := sim.NewKernel(o.seed())
+	d := db.New(nil)
+	ds := experimentDataset(o)
+	if err := ebid.LoadDataset(d, ds); err != nil {
+		panic("experiments: dataset: " + err.Error())
+	}
+	ce := &clusterEnv{kernel: k, db: d}
+	if kind == useSSM {
+		ce.sharedSSM = session.NewSSM(k.Now, time.Hour)
+	}
+	for i := 0; i < nNodes; i++ {
+		var store session.Store
+		if kind == useSSM {
+			store = ce.sharedSSM
+		} else {
+			store = session.NewFastS()
+		}
+		cfg := nodeCfg
+		cfg.Name = nodeName(i)
+		cfg.Dataset = ds
+		n, err := cluster.NewNode(k, d, store, cfg)
+		if err != nil {
+			panic("experiments: node: " + err.Error())
+		}
+		ce.nodes = append(ce.nodes, n)
+		ce.injectors = append(ce.injectors, faults.NewInjector(n.Server(), d, store))
+	}
+	ce.lb = cluster.NewLoadBalancer(ce.nodes)
+	ce.recorder = metrics.NewRecorder(time.Second, 8*time.Second)
+	ce.emulator = workload.NewEmulator(k, ce.lb, ce.recorder, workload.Config{
+		Clients:    nNodes * clientsPerNode,
+		Users:      int64(ds.Users),
+		Items:      int64(ds.Items),
+		Categories: int64(ds.Categories),
+		Regions:    int64(ds.Regions),
+	})
+	return ce
+}
+
+func nodeName(i int) string {
+	return "node" + string(rune('0'+i))
+}

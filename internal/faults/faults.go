@@ -1,0 +1,304 @@
+// Package faults implements the fault-injection campaign of Section 5.1:
+// hooks that reproduce every failure mode of Table 2, with the cure
+// semantics the paper observed (which reboot level, if any, clears each
+// fault).
+//
+// Faults install hooks into the core machinery (container fault hooks,
+// naming-entry corruption, transaction-method-map corruption), damage
+// state stores directly, or model JVM/OS-level misbehavior at the web
+// tier. The injector subscribes to the server's reboot notifications and
+// deactivates each fault when a reboot of sufficient scope covers its
+// target, so experiments observe exactly the recovery behavior of the
+// paper's campaign.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ebid"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+// Kind enumerates the injected fault types of Table 2.
+type Kind int
+
+// Fault kinds.
+const (
+	Deadlock Kind = iota
+	InfiniteLoop
+	AppMemoryLeak
+	TransientException
+	CorruptPrimaryKeys
+	CorruptNaming
+	CorruptTxMethodMap
+	CorruptSessionAttrs
+	CorruptFastS
+	CorruptSSM
+	CorruptDB
+	MemLeakIntraJVM
+	MemLeakExtraJVM
+	BitFlipMemory
+	BitFlipRegisters
+	BadSyscall
+)
+
+var kindNames = map[Kind]string{
+	Deadlock:            "deadlock",
+	InfiniteLoop:        "infinite loop",
+	AppMemoryLeak:       "application memory leak",
+	TransientException:  "transient exception",
+	CorruptPrimaryKeys:  "corrupt primary keys",
+	CorruptNaming:       "corrupt JNDI entries",
+	CorruptTxMethodMap:  "corrupt transaction method map",
+	CorruptSessionAttrs: "corrupt stateless session EJB attributes",
+	CorruptFastS:        "corrupt data inside FastS",
+	CorruptSSM:          "corrupt data inside SSM",
+	CorruptDB:           "corrupt data inside MySQL",
+	MemLeakIntraJVM:     "memory leak outside application (intra-JVM)",
+	MemLeakExtraJVM:     "memory leak outside application (extra-JVM)",
+	BitFlipMemory:       "bit flips in process memory",
+	BitFlipRegisters:    "bit flips in process registers",
+	BadSyscall:          "bad system call return values",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mode selects the corruption flavor for data-corruption faults: "null"
+// elicits a NullPointerException analog on access, "invalid" is a
+// non-null value that type-checks but is application-invalid, and "wrong"
+// is valid but incorrect (e.g. swapped IDs).
+type Mode string
+
+// Corruption modes.
+const (
+	ModeNone    Mode = ""
+	ModeNull    Mode = "null"
+	ModeInvalid Mode = "invalid"
+	ModeWrong   Mode = "wrong"
+)
+
+// Spec describes one fault to inject.
+type Spec struct {
+	Kind Kind
+	// Component is the target component (hook-based faults).
+	Component string
+	// Mode selects the corruption flavor where applicable.
+	Mode Mode
+	// LeakPerCall sets the per-invocation leak for AppMemoryLeak.
+	LeakPerCall int64
+	// SessionID targets session-store corruption.
+	SessionID string
+	// Table/RowKey/Column target database corruption.
+	Table  string
+	RowKey int64
+	Column string
+}
+
+// ErrInjected tags failures produced by injected faults.
+var ErrInjected = errors.New("faults: injected")
+
+// CureLevel describes what Table 2 says clears a fault.
+type CureLevel int
+
+// Cure levels, mirroring Table 2's "Reboot level" column.
+const (
+	CureNone      CureLevel = iota // self-curing (no reboot needed)
+	CureComponent                  // EJB-level µRB
+	CureWAR                        // WAR microreboot
+	CureComponentAndWAR
+	CureProcess // JVM/JBoss restart
+	CureNode    // OS reboot
+	CureManual  // manual repair (DB table repair)
+)
+
+func (c CureLevel) String() string {
+	switch c {
+	case CureNone:
+		return "unnecessary"
+	case CureComponent:
+		return "EJB"
+	case CureWAR:
+		return "WAR"
+	case CureComponentAndWAR:
+		return "EJB+WAR"
+	case CureProcess:
+		return "JVM/JBoss"
+	case CureNode:
+		return "OS kernel"
+	case CureManual:
+		return "manual repair"
+	default:
+		return fmt.Sprintf("CureLevel(%d)", int(c))
+	}
+}
+
+// ActiveFault is one injected fault.
+type ActiveFault struct {
+	Spec Spec
+	// Cure is the minimal recovery that clears this fault.
+	Cure CureLevel
+	// DataRepairNeeded marks the ≈ rows of Table 2: service resumes
+	// after reboot, but persistent data needs manual reconstruction.
+	DataRepairNeeded bool
+	// Persistent faults are bugs a reboot does not remove (memory-leak
+	// code paths): the reboot reclaims their damage (Cure reports the
+	// level that does), but the fault stays installed.
+	Persistent bool
+
+	inj    *Injector
+	mu     sync.Mutex
+	active bool
+	// componentCured / warCured track the EJB+WAR combination cure.
+	componentCured bool
+	warCured       bool
+	// remove uninstalls the fault's hook or damage.
+	remove func()
+	// onCure runs extra cleanup at cure time (e.g. scrubbing a corrupted
+	// FastS session when the WAR reboots).
+	onCure func()
+	// hungTx is the lock-holding transaction of a deadlock fault.
+	hungTx *db.Tx
+}
+
+// Active reports whether the fault is still live.
+func (f *ActiveFault) Active() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.active
+}
+
+// Deactivate clears the fault manually (used by self-curing faults and
+// test teardown).
+func (f *ActiveFault) Deactivate() {
+	f.mu.Lock()
+	if !f.active {
+		f.mu.Unlock()
+		return
+	}
+	f.active = false
+	remove, onCure := f.remove, f.onCure
+	f.mu.Unlock()
+	if remove != nil {
+		remove()
+	}
+	if onCure != nil {
+		onCure()
+	}
+}
+
+// observeReboot applies a reboot event to the fault's cure state.
+func (f *ActiveFault) observeReboot(rb *core.Reboot) {
+	f.mu.Lock()
+	if !f.active || f.Persistent {
+		f.mu.Unlock()
+		return
+	}
+	covers := func(name string) bool {
+		for _, m := range rb.Members {
+			if m == name {
+				return true
+			}
+		}
+		return false
+	}
+	coversComponent := rb.Scope >= core.ScopeApp || covers(f.Spec.Component)
+	coversWAR := rb.Scope >= core.ScopeApp || rb.Scope == core.ScopeWAR || covers(ebid.WAR)
+
+	cured := false
+	switch f.Cure {
+	case CureComponent:
+		cured = coversComponent
+	case CureWAR:
+		cured = coversWAR
+	case CureComponentAndWAR:
+		if coversComponent {
+			f.componentCured = true
+		}
+		if coversWAR {
+			f.warCured = true
+		}
+		cured = f.componentCured && f.warCured
+	case CureProcess:
+		cured = rb.Scope >= core.ScopeProcess
+	case CureNode:
+		cured = rb.Scope >= core.ScopeNode
+	case CureManual, CureNone:
+		cured = false
+	}
+	f.mu.Unlock()
+	if cured {
+		f.Deactivate()
+	}
+}
+
+// Injector installs faults into one node's application.
+type Injector struct {
+	server *core.Server
+	db     *db.DB
+	store  session.Store
+
+	mu     sync.Mutex
+	active []*ActiveFault
+	// extraJVMLeakBytes models leaked memory outside the application
+	// (and, for the extra-JVM flavor, outside the process).
+	intraJVMLeak int64
+	extraJVMLeak int64
+}
+
+// NewInjector builds an injector for the application hosted on server.
+// The injector subscribes to reboot notifications to apply cures.
+func NewInjector(server *core.Server, d *db.DB, store session.Store) *Injector {
+	inj := &Injector{server: server, db: d, store: store}
+	server.OnReboot(func(rb *core.Reboot) {
+		inj.mu.Lock()
+		faults := append([]*ActiveFault(nil), inj.active...)
+		if rb.Scope >= core.ScopeProcess {
+			inj.intraJVMLeak = 0
+		}
+		if rb.Scope >= core.ScopeNode {
+			inj.extraJVMLeak = 0
+		}
+		inj.mu.Unlock()
+		for _, f := range faults {
+			f.observeReboot(rb)
+		}
+	})
+	return inj
+}
+
+// ActiveFaults returns the live faults.
+func (inj *Injector) ActiveFaults() []*ActiveFault {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var out []*ActiveFault
+	for _, f := range inj.active {
+		if f.Active() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JVMLeakBytes reports the modeled intra-JVM and extra-JVM leaks.
+func (inj *Injector) JVMLeakBytes() (intra, extra int64) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.intraJVMLeak, inj.extraJVMLeak
+}
+
+// GrowJVMLeak advances the outside-the-application leak models.
+func (inj *Injector) GrowJVMLeak(intra, extra int64) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.intraJVMLeak += intra
+	inj.extraJVMLeak += extra
+}

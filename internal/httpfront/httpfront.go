@@ -1,0 +1,205 @@
+// Package httpfront serves a deployed eBid application over real HTTP,
+// the way the paper's prototype served it from JBoss's embedded web
+// server. End-user operations map to URLs; sessions ride on cookies; a
+// component mid-microreboot yields HTTP 503 with a Retry-After header
+// (Section 6.2); and the microreboot method is exposed over HTTP for
+// remote invocation by a recovery manager, exactly as the paper's
+// prototype allowed µRBs "programmatically from within the server, or
+// remotely, over HTTP".
+package httpfront
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebid"
+)
+
+// Front is the HTTP front end for one application server.
+type Front struct {
+	App   *ebid.App
+	start time.Time
+}
+
+// New builds a front end for the given application.
+func New(app *ebid.App) *Front {
+	return &Front{App: app, start: time.Now()}
+}
+
+// Handler returns the HTTP handler: /ebid/<Operation> for end-user
+// operations, /admin/microreboot, /admin/reboot, /admin/components.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ebid/", f.serveOp)
+	mux.HandleFunc("/admin/microreboot", f.serveMicroreboot)
+	mux.HandleFunc("/admin/reboot", f.serveReboot)
+	mux.HandleFunc("/admin/components", f.serveComponents)
+	return mux
+}
+
+// sessionID extracts (or assigns) the session cookie.
+func (f *Front) sessionID(w http.ResponseWriter, r *http.Request) string {
+	if c, err := r.Cookie("EBIDSESSION"); err == nil && c.Value != "" {
+		return c.Value
+	}
+	id := fmt.Sprintf("http-%d", time.Now().UnixNano())
+	http.SetCookie(w, &http.Cookie{Name: "EBIDSESSION", Value: id, Path: "/"})
+	return id
+}
+
+// serveOp dispatches /ebid/<Op>?arg=value... into the application.
+func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/ebid/")
+	info, ok := ebid.Info(op)
+	if !ok {
+		http.Error(w, "unknown operation "+op, http.StatusNotFound)
+		return
+	}
+	args := map[string]any{}
+	for key, vals := range r.URL.Query() {
+		if len(vals) == 0 {
+			continue
+		}
+		if n, err := strconv.ParseInt(vals[0], 10, 64); err == nil {
+			args[key] = n
+			continue
+		}
+		if x, err := strconv.ParseFloat(vals[0], 64); err == nil {
+			args[key] = x
+			continue
+		}
+		args[key] = vals[0]
+	}
+	call := &core.Call{
+		Op:        op,
+		SessionID: f.sessionID(w, r),
+		Args:      args,
+		TTL:       time.Minute,
+	}
+	body, err := f.App.Execute(call)
+	if err != nil {
+		var ra *core.RetryAfterError
+		if errors.As(err, &ra) {
+			// The paper's transparent-retry machinery: idempotent
+			// requests may simply be reissued after this interval.
+			secs := int(ra.After.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, "component recovering: "+ra.Component, http.StatusServiceUnavailable)
+			return
+		}
+		if errors.Is(err, core.ErrHang) {
+			http.Error(w, "request wedged (deadlock/loop injected)", http.StatusGatewayTimeout)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_ = info
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintln(w, body)
+}
+
+// serveMicroreboot handles POST /admin/microreboot?component=Name — the
+// remotely invocable microreboot method added to the server.
+func (f *Front) serveMicroreboot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	comp := r.URL.Query().Get("component")
+	if comp == "" {
+		http.Error(w, "component parameter required", http.StatusBadRequest)
+		return
+	}
+	rb, err := f.App.Server.BeginMicroreboot(comp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	// In real-time mode the modeled recovery interval elapses on the
+	// wall clock before reintegration.
+	go func() {
+		time.Sleep(rb.Duration())
+		_ = f.App.Server.CompleteMicroreboot(rb)
+	}()
+	writeJSON(w, map[string]any{
+		"members":     rb.Members,
+		"duration_ms": rb.Duration().Milliseconds(),
+		"freed_bytes": rb.FreedBytes,
+		"aborted_txs": rb.AbortedTxs,
+	})
+}
+
+// serveReboot handles POST /admin/reboot?scope=war|app|process.
+func (f *Front) serveReboot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var scope core.Scope
+	switch r.URL.Query().Get("scope") {
+	case "war":
+		scope = core.ScopeWAR
+	case "app":
+		scope = core.ScopeApp
+	case "process":
+		scope = core.ScopeProcess
+	default:
+		http.Error(w, "scope must be war, app or process", http.StatusBadRequest)
+		return
+	}
+	rb, err := f.App.Server.BeginScopedReboot(scope, "eBid")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	go func() {
+		time.Sleep(rb.Duration())
+		_ = f.App.Server.CompleteMicroreboot(rb)
+	}()
+	writeJSON(w, map[string]any{"scope": scope.String(), "members": rb.Members,
+		"duration_ms": rb.Duration().Milliseconds()})
+}
+
+// serveComponents lists deployed components with their states.
+func (f *Front) serveComponents(w http.ResponseWriter, r *http.Request) {
+	type comp struct {
+		Name     string   `json:"name"`
+		Kind     string   `json:"kind"`
+		State    string   `json:"state"`
+		Group    []string `json:"recovery_group"`
+		Served   uint64   `json:"served"`
+		Failed   uint64   `json:"failed"`
+		Rebooted uint64   `json:"rebooted"`
+	}
+	var out []comp
+	for _, name := range f.App.Server.Components() {
+		c, err := f.App.Server.Container(name)
+		if err != nil {
+			continue
+		}
+		g, _ := f.App.Server.RecoveryGroup(name)
+		served, failed, rebooted := c.Stats()
+		out = append(out, comp{
+			Name: name, Kind: c.Kind().String(), State: c.State().String(),
+			Group: g, Served: served, Failed: failed, Rebooted: rebooted,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

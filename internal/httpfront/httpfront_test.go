@@ -1,0 +1,160 @@
+package httpfront
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ebid"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+func newFront(t *testing.T) *Front {
+	t.Helper()
+	d := db.New(nil)
+	cfg := ebid.DatasetConfig{Users: 20, Items: 50, BidsPerItem: 2, Categories: 5, Regions: 5, OldItems: 5}
+	if err := ebid.LoadDataset(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	app, err := ebid.New(d, session.NewFastS(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(app)
+}
+
+func TestEndToEndHTTPFlow(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	jar := map[string]string{}
+	do := func(method, path string) (*http.Response, string) {
+		req, err := http.NewRequest(method, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range jar {
+			req.AddCookie(&http.Cookie{Name: k, Value: v})
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range resp.Cookies() {
+			jar[c.Name] = c.Value
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// Static page.
+	resp, body := do("GET", "/ebid/Home")
+	if resp.StatusCode != 200 || !strings.Contains(body, "eBid home") {
+		t.Fatalf("Home: %d %q", resp.StatusCode, body)
+	}
+	// Login establishes the cookie session.
+	resp, body = do("GET", "/ebid/Authenticate?user=3")
+	if resp.StatusCode != 200 || !strings.Contains(body, "welcome") {
+		t.Fatalf("Authenticate: %d %q", resp.StatusCode, body)
+	}
+	// Bid flow across requests (session state on the server).
+	resp, _ = do("GET", "/ebid/MakeBid?item=7")
+	if resp.StatusCode != 200 {
+		t.Fatalf("MakeBid: %d", resp.StatusCode)
+	}
+	resp, body = do("GET", "/ebid/CommitBid?amount=42.5")
+	if resp.StatusCode != 200 || !strings.Contains(body, "bid committed on item 7") {
+		t.Fatalf("CommitBid: %d %q", resp.StatusCode, body)
+	}
+	// Unknown op.
+	resp, _ = do("GET", "/ebid/Nope")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown op: %d", resp.StatusCode)
+	}
+}
+
+func TestMicrorebootOverHTTPAnd503(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	// Trigger a µRB remotely.
+	resp, err := http.Post(srv.URL+"/admin/microreboot?component=ViewItem", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb struct {
+		Members    []string `json:"members"`
+		DurationMs int64    `json:"duration_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rb.Members) != 1 || rb.Members[0] != "ViewItem" || rb.DurationMs != 446 {
+		t.Fatalf("reboot = %+v", rb)
+	}
+	// While recovering: 503 + Retry-After.
+	resp, err = http.Get(srv.URL + "/ebid/ViewItem?item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("during µRB: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After header")
+	}
+	// Other components keep serving.
+	resp, err = http.Get(srv.URL + "/ebid/BrowseCategories")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("BrowseCategories during ViewItem µRB: %d", resp.StatusCode)
+	}
+	// GET on admin endpoint rejected.
+	resp, _ = http.Get(srv.URL + "/admin/microreboot?component=ViewItem")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET admin: %d", resp.StatusCode)
+	}
+}
+
+func TestComponentsEndpoint(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/admin/components")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var comps []struct {
+		Name  string   `json:"name"`
+		State string   `json:"state"`
+		Group []string `json:"recovery_group"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&comps); err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 27 {
+		t.Fatalf("components = %d, want 27", len(comps))
+	}
+	for _, c := range comps {
+		if c.State != "running" {
+			t.Fatalf("%s state = %s", c.Name, c.State)
+		}
+	}
+}

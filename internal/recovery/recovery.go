@@ -1,0 +1,281 @@
+// Package recovery implements the paper's recovery manager (RM): it
+// listens for failure reports from the client-side monitors, performs
+// simple score-based diagnosis using the static URL→component-path
+// mapping, and recovers the system with a recursive recovery policy that
+// always tries the cheapest reboot first — EJB microreboot, then the WAR,
+// then the whole application, then a JVM/JBoss process restart, then an
+// operating-system reboot, and finally notifies a human.
+//
+// The diagnosis is deliberately simplistic and yields false positives;
+// part of the paper's point is that cheap recovery makes sloppy diagnosis
+// tolerable (Section 6.3).
+package recovery
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebid"
+	"repro/internal/sim"
+)
+
+// Rebooter abstracts the node-level recovery actions; *cluster.Node
+// implements it.
+type Rebooter interface {
+	Microreboot(names ...string) (*core.Reboot, error)
+	RebootScope(scope core.Scope) (*core.Reboot, error)
+	Recovering() bool
+}
+
+// Report is one failure observation from a monitor: the failed end-user
+// operation (URL) and the failure type observed.
+type Report struct {
+	Op   string
+	Kind string
+}
+
+// Config parameterizes the manager.
+type Config struct {
+	// Threshold is the score at which RM triggers recovery (default 3).
+	Threshold float64
+	// Grace is how long after a recovery completes RM ignores residual
+	// failure reports before re-diagnosing (default 3 s).
+	Grace time.Duration
+	// EscalationWindow: a repeat recovery of the same target within this
+	// window escalates to the next policy level (default 90 s).
+	EscalationWindow time.Duration
+	// RecurringLimit: after this many full escalations RM gives up and
+	// notifies a human (default 1 — i.e. after the OS reboot fails).
+	RecurringLimit int
+	// Weights for path scoring. The WAR sits on every path, so it gets a
+	// low weight; the operation's own session component is the most
+	// suspicious; entities are shared across operations and accumulate
+	// across distinct failing URLs.
+	WARWeight     float64
+	SessionWeight float64
+	EntityWeight  float64
+	// DetectionDelay postpones the recovery action after the threshold
+	// is crossed (models Tdet in the Figure 5 experiments).
+	DetectionDelay time.Duration
+	// ForceScope, when non-zero, makes every recovery action use this
+	// scope instead of the recursive policy — used to model legacy
+	// "restart the JVM for everything" operation as the baseline.
+	ForceScope core.Scope
+}
+
+func (c *Config) fill() {
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.Grace == 0 {
+		c.Grace = 3 * time.Second
+	}
+	if c.EscalationWindow == 0 {
+		c.EscalationWindow = 90 * time.Second
+	}
+	if c.RecurringLimit == 0 {
+		c.RecurringLimit = 1
+	}
+	if c.WARWeight == 0 {
+		c.WARWeight = 0.25
+	}
+	if c.SessionWeight == 0 {
+		c.SessionWeight = 1.0
+	}
+	if c.EntityWeight == 0 {
+		c.EntityWeight = 0.6
+	}
+}
+
+// Action describes one recovery action RM took.
+type Action struct {
+	At     time.Duration
+	Target string
+	Scope  core.Scope
+	Reboot *core.Reboot
+}
+
+// Manager is the recovery manager for one node.
+type Manager struct {
+	kernel *sim.Kernel
+	target Rebooter
+	cfg    Config
+
+	scores          map[string]float64
+	mutedUntil      time.Duration
+	pendingRecovery bool
+
+	// lastTarget/lastLevel drive the recursive escalation policy.
+	lastTarget string
+	lastLevel  int
+	lastDone   time.Duration
+
+	// Actions is the recovery log.
+	Actions []Action
+	// OnRecoveryStart/End let the load balancer be notified for
+	// failover, as the paper's RM notifies LB.
+	OnRecoveryStart func()
+	OnRecoveryEnd   func()
+	// NotifyHuman fires when the policy is exhausted or failures recur
+	// beyond RecurringLimit.
+	NotifyHuman func(reason string)
+
+	humanNotified bool
+}
+
+// NewManager builds a recovery manager driving the given rebooter.
+func NewManager(k *sim.Kernel, target Rebooter, cfg Config) *Manager {
+	cfg.fill()
+	return &Manager{
+		kernel: k,
+		target: target,
+		cfg:    cfg,
+		scores: map[string]float64{},
+	}
+}
+
+// HumanNotified reports whether RM has given up on automatic recovery.
+func (m *Manager) HumanNotified() bool { return m.humanNotified }
+
+// Report feeds one failure observation into the manager (monitors send
+// these the way the paper's monitors send UDP failure reports).
+func (m *Manager) Report(r Report) {
+	if m.pendingRecovery || m.target.Recovering() || m.kernel.Now() < m.mutedUntil || m.humanNotified {
+		return
+	}
+	path := ebid.PathFor(r.Op)
+	if len(path) == 0 {
+		// Unknown URL: all we can blame is the web tier, at full weight.
+		m.scores[ebid.WAR] += m.cfg.SessionWeight
+	}
+	for _, comp := range path {
+		m.scores[comp] += m.weightOf(comp, r.Op)
+	}
+	if name, score := m.top(); score >= m.cfg.Threshold {
+		m.trigger(name)
+	}
+}
+
+func (m *Manager) weightOf(comp, op string) float64 {
+	if comp == ebid.WAR {
+		return m.cfg.WARWeight
+	}
+	if comp == op {
+		return m.cfg.SessionWeight
+	}
+	return m.cfg.EntityWeight
+}
+
+// top returns the highest-scoring component (ties broken alphabetically
+// for determinism).
+func (m *Manager) top() (string, float64) {
+	var names []string
+	for n := range m.scores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best, bestScore := "", -1.0
+	for _, n := range names {
+		if m.scores[n] > bestScore {
+			best, bestScore = n, m.scores[n]
+		}
+	}
+	return best, bestScore
+}
+
+// trigger runs the recursive recovery policy against the diagnosed
+// component, optionally after the configured detection delay.
+func (m *Manager) trigger(name string) {
+	m.pendingRecovery = true
+	m.scores = map[string]float64{}
+	fire := func() { m.recover(name) }
+	if m.cfg.DetectionDelay > 0 {
+		m.kernel.Schedule(m.cfg.DetectionDelay, fire)
+	} else {
+		fire()
+	}
+}
+
+// recover picks the policy level. Repeated recovery of the same target
+// within the escalation window moves one level up: EJB µRB → WAR → app →
+// process → node → human.
+func (m *Manager) recover(name string) {
+	level := 0
+	if name == m.lastTarget && m.kernel.Now()-m.lastDone <= m.cfg.EscalationWindow {
+		level = m.lastLevel + 1
+	}
+	m.lastTarget = name
+	m.lastLevel = level
+
+	if m.OnRecoveryStart != nil {
+		m.OnRecoveryStart()
+	}
+	var (
+		rb    *core.Reboot
+		err   error
+		scope core.Scope
+	)
+	if m.cfg.ForceScope != 0 {
+		scope = m.cfg.ForceScope
+		rb, err = m.target.RebootScope(scope)
+		m.finishRecovery(name, scope, rb, err)
+		return
+	}
+	switch level {
+	case 0:
+		scope = core.ScopeComponent
+		if name == ebid.WAR {
+			scope = core.ScopeWAR
+			rb, err = m.target.RebootScope(core.ScopeWAR)
+		} else {
+			rb, err = m.target.Microreboot(name)
+		}
+	case 1:
+		scope = core.ScopeWAR
+		rb, err = m.target.RebootScope(core.ScopeWAR)
+	case 2:
+		scope = core.ScopeApp
+		rb, err = m.target.RebootScope(core.ScopeApp)
+	case 3:
+		scope = core.ScopeProcess
+		rb, err = m.target.RebootScope(core.ScopeProcess)
+	case 4:
+		scope = core.ScopeNode
+		rb, err = m.target.RebootScope(core.ScopeNode)
+	default:
+		m.humanNotified = true
+		m.pendingRecovery = false
+		if m.NotifyHuman != nil {
+			m.NotifyHuman("recursive recovery policy exhausted for " + name)
+		}
+		if m.OnRecoveryEnd != nil {
+			m.OnRecoveryEnd()
+		}
+		return
+	}
+	m.finishRecovery(name, scope, rb, err)
+}
+
+func (m *Manager) finishRecovery(name string, scope core.Scope, rb *core.Reboot, err error) {
+	if err != nil {
+		m.humanNotified = true
+		m.pendingRecovery = false
+		if m.NotifyHuman != nil {
+			m.NotifyHuman("recovery action failed: " + err.Error())
+		}
+		if m.OnRecoveryEnd != nil {
+			m.OnRecoveryEnd()
+		}
+		return
+	}
+	m.Actions = append(m.Actions, Action{At: m.kernel.Now(), Target: name, Scope: scope, Reboot: rb})
+	m.kernel.Schedule(rb.Duration()+m.cfg.Grace, func() {
+		m.pendingRecovery = false
+		m.lastDone = m.kernel.Now()
+		m.mutedUntil = m.kernel.Now()
+		if m.OnRecoveryEnd != nil {
+			m.OnRecoveryEnd()
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebid"
+	"repro/internal/sim"
+)
+
+// fakeRebooter records recovery actions without a real node.
+type fakeRebooter struct {
+	micro  [][]string
+	scopes []core.Scope
+	// failAll makes every action error (for NotifyHuman paths).
+	failAll bool
+	cost    time.Duration
+}
+
+func (f *fakeRebooter) Microreboot(names ...string) (*core.Reboot, error) {
+	if f.failAll {
+		return nil, core.ErrNotBound
+	}
+	f.micro = append(f.micro, names)
+	return &core.Reboot{Scope: core.ScopeComponent, Members: names, Reinit: f.costOr(500 * time.Millisecond)}, nil
+}
+
+func (f *fakeRebooter) RebootScope(scope core.Scope) (*core.Reboot, error) {
+	if f.failAll {
+		return nil, core.ErrNotBound
+	}
+	f.scopes = append(f.scopes, scope)
+	return &core.Reboot{Scope: scope, Reinit: f.costOr(time.Second)}, nil
+}
+
+func (f *fakeRebooter) costOr(d time.Duration) time.Duration {
+	if f.cost > 0 {
+		return f.cost
+	}
+	return d
+}
+
+func (f *fakeRebooter) Recovering() bool { return false }
+
+func TestDiagnosisBlamesTheFailingOperation(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 3})
+	for i := 0; i < 3; i++ {
+		m.Report(Report{Op: ebid.MakeBid, Kind: "http-error"})
+	}
+	k.Drain()
+	if len(fr.micro) != 1 || fr.micro[0][0] != ebid.MakeBid {
+		t.Fatalf("recovery actions = %v, want µRB of MakeBid", fr.micro)
+	}
+	if len(m.Actions) != 1 || m.Actions[0].Scope != core.ScopeComponent {
+		t.Fatalf("actions = %+v", m.Actions)
+	}
+}
+
+func TestDiagnosisBlamesSharedEntityAcrossOps(t *testing.T) {
+	// Failures across many different operations that all touch the
+	// EntityGroup should accumulate on an entity, not any single session
+	// component.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 2})
+	m.Report(Report{Op: ebid.ViewItem})
+	m.Report(Report{Op: ebid.SearchItemsByCategory})
+	m.Report(Report{Op: ebid.MakeBid})
+	m.Report(Report{Op: ebid.DoBuyNow})
+	k.Drain()
+	if len(fr.micro) != 1 {
+		t.Fatalf("recoveries = %v", fr.micro)
+	}
+	if fr.micro[0][0] != ebid.EntItem {
+		t.Fatalf("blamed %v, want the shared Item entity", fr.micro[0])
+	}
+}
+
+func TestEscalationLadder(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	var human []string
+	m := NewManager(k, fr, Config{Threshold: 2, Grace: time.Second, EscalationWindow: 10 * time.Minute})
+	m.NotifyHuman = func(reason string) { human = append(human, reason) }
+
+	fail := func() {
+		for i := 0; i < 2; i++ {
+			m.Report(Report{Op: ebid.ViewItem})
+		}
+		k.RunFor(30 * time.Second)
+	}
+	fail() // level 0: EJB µRB
+	fail() // level 1: WAR
+	fail() // level 2: app
+	fail() // level 3: process
+	fail() // level 4: node
+	fail() // level 5: human
+
+	if len(fr.micro) != 1 {
+		t.Fatalf("µRBs = %v, want 1", fr.micro)
+	}
+	want := []core.Scope{core.ScopeWAR, core.ScopeApp, core.ScopeProcess, core.ScopeNode}
+	if len(fr.scopes) != len(want) {
+		t.Fatalf("scopes = %v, want %v", fr.scopes, want)
+	}
+	for i := range want {
+		if fr.scopes[i] != want[i] {
+			t.Fatalf("scopes = %v, want %v", fr.scopes, want)
+		}
+	}
+	if len(human) != 1 {
+		t.Fatalf("human notifications = %v", human)
+	}
+	if !m.HumanNotified() {
+		t.Fatal("HumanNotified() = false")
+	}
+	// Once the human is notified, RM stops acting.
+	fail()
+	if len(fr.scopes) != len(want) {
+		t.Fatal("RM acted after giving up")
+	}
+}
+
+func TestEscalationResetsAcrossWindow(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 2, Grace: time.Second, EscalationWindow: time.Minute})
+	for i := 0; i < 2; i++ {
+		m.Report(Report{Op: ebid.ViewItem})
+	}
+	k.RunFor(30 * time.Second)
+	// Well past the escalation window: same target starts at level 0.
+	k.RunFor(10 * time.Minute)
+	for i := 0; i < 2; i++ {
+		m.Report(Report{Op: ebid.ViewItem})
+	}
+	k.Drain()
+	if len(fr.micro) != 2 || len(fr.scopes) != 0 {
+		t.Fatalf("micro=%v scopes=%v, want two component-level µRBs", fr.micro, fr.scopes)
+	}
+}
+
+func TestReportsMutedDuringRecovery(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{cost: 10 * time.Second}
+	m := NewManager(k, fr, Config{Threshold: 2, Grace: 5 * time.Second})
+	for i := 0; i < 2; i++ {
+		m.Report(Report{Op: ebid.ViewItem})
+	}
+	// Recovery in progress: the flood of residual failures is ignored.
+	for i := 0; i < 100; i++ {
+		m.Report(Report{Op: ebid.ViewItem})
+	}
+	k.RunFor(20 * time.Second)
+	if len(fr.micro) != 1 {
+		t.Fatalf("recoveries = %d, want 1 (reports during recovery muted)", len(fr.micro))
+	}
+}
+
+func TestDetectionDelayPostponesRecovery(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 1, DetectionDelay: 30 * time.Second})
+	m.Report(Report{Op: ebid.ViewItem})
+	k.RunFor(10 * time.Second)
+	if len(fr.micro) != 0 {
+		t.Fatal("recovery fired before the detection delay")
+	}
+	k.RunFor(25 * time.Second)
+	if len(fr.micro) != 1 {
+		t.Fatal("recovery did not fire after the detection delay")
+	}
+}
+
+func TestLBNotifications(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 1, Grace: time.Second})
+	var events []string
+	m.OnRecoveryStart = func() { events = append(events, "start") }
+	m.OnRecoveryEnd = func() { events = append(events, "end") }
+	m.Report(Report{Op: ebid.ViewItem})
+	k.RunFor(time.Minute)
+	if len(events) != 2 || events[0] != "start" || events[1] != "end" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestActionFailureNotifiesHuman(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{failAll: true}
+	var human []string
+	m := NewManager(k, fr, Config{Threshold: 1})
+	m.NotifyHuman = func(r string) { human = append(human, r) }
+	m.Report(Report{Op: ebid.ViewItem})
+	k.Drain()
+	if len(human) != 1 {
+		t.Fatalf("human = %v", human)
+	}
+}
+
+func TestUnknownOpStillScored(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 1})
+	m.Report(Report{Op: "TotallyUnknown"})
+	k.Drain()
+	// Unknown URLs fall back to blaming the WAR.
+	if len(fr.scopes) != 1 || fr.scopes[0] != core.ScopeWAR {
+		t.Fatalf("scopes = %v, want WAR reboot", fr.scopes)
+	}
+}

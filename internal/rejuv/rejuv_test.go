@@ -1,0 +1,168 @@
+package rejuv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ebid"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+func testNode(t *testing.T, k *sim.Kernel) (*cluster.Node, *faults.Injector) {
+	t.Helper()
+	d := db.New(nil)
+	cfg := ebid.DatasetConfig{Users: 50, Items: 100, BidsPerItem: 3, Categories: 5, Regions: 5, OldItems: 10}
+	if err := ebid.LoadDataset(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	store := session.NewFastS()
+	n, err := cluster.NewNode(k, d, store, cluster.NodeConfig{Name: "n0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, faults.NewInjector(n.Server(), d, store)
+}
+
+func TestHeapAccounting(t *testing.T) {
+	k := sim.NewKernel(1)
+	n, inj := testNode(t, k)
+	heap := NewHeap(1<<30, 100<<20, n.Server(), func() int64 {
+		intra, _ := inj.JVMLeakBytes()
+		return intra
+	})
+	base := heap.Available()
+	if base != 1<<30-100<<20 {
+		t.Fatalf("baseline available = %d", base)
+	}
+	c, _ := n.Server().Container(ebid.ViewItem)
+	c.Leak(50 << 20)
+	if heap.Available() != base-50<<20 {
+		t.Fatalf("available after leak = %d", heap.Available())
+	}
+	inj.GrowJVMLeak(10<<20, 0)
+	if heap.Available() != base-60<<20 {
+		t.Fatalf("available with extra = %d", heap.Available())
+	}
+}
+
+func TestMicrorejuvenationReclaimsMemory(t *testing.T) {
+	k := sim.NewKernel(2)
+	n, _ := testNode(t, k)
+	heap := NewHeap(1<<30, 100<<20, n.Server(), nil)
+	svc := NewService(k, n, n.Server(), heap, Config{
+		Malarm:      350 << 20,
+		Msufficient: 800 << 20,
+		Interval:    5 * time.Second,
+	})
+	svc.Start()
+
+	// Leak 700 MB into ViewItem: available drops below Malarm.
+	c, _ := n.Server().Container(ebid.ViewItem)
+	c.Leak(700 << 20)
+	k.RunFor(2 * time.Minute)
+	if avail := heap.Available(); avail < 800<<20 {
+		t.Fatalf("available = %dMB, want ≥800MB after rejuvenation", avail>>20)
+	}
+	if svc.Rejuvenations != 1 {
+		t.Fatalf("rejuvenations = %d, want 1", svc.Rejuvenations)
+	}
+	if svc.ProcessRestarts != 0 {
+		t.Fatalf("process restarts = %d, want 0", svc.ProcessRestarts)
+	}
+	if n.Down() {
+		t.Fatal("node went down during microrejuvenation")
+	}
+	svc.Stop()
+}
+
+func TestLearningOrdersCandidates(t *testing.T) {
+	k := sim.NewKernel(3)
+	n, _ := testNode(t, k)
+	heap := NewHeap(1<<30, 100<<20, n.Server(), nil)
+	svc := NewService(k, n, n.Server(), heap, Config{
+		Malarm: 350 << 20, Msufficient: 800 << 20, Interval: 5 * time.Second,
+	})
+	svc.Start()
+	leak := func() {
+		c, _ := n.Server().Container(ebid.ViewItem)
+		c.Leak(650 << 20)
+	}
+	leak()
+	k.RunFor(5 * time.Minute) // first rejuvenation: service learns who leaks
+	firstRoundReboots := svc.ComponentReboots
+	leak()
+	k.RunFor(5 * time.Minute) // second: ViewItem is first on the list
+	secondRoundReboots := svc.ComponentReboots - firstRoundReboots
+	if secondRoundReboots >= firstRoundReboots {
+		t.Fatalf("learning ineffective: first=%d second=%d reboots", firstRoundReboots, secondRoundReboots)
+	}
+	if secondRoundReboots != 1 {
+		t.Fatalf("second rejuvenation took %d reboots, want 1 (ViewItem first)", secondRoundReboots)
+	}
+	svc.Stop()
+}
+
+func TestFallbackToProcessRestart(t *testing.T) {
+	k := sim.NewKernel(4)
+	n, inj := testNode(t, k)
+	// The leak is outside the application: no component µRB can reclaim
+	// it, so the service must escalate to a JVM restart.
+	heap := NewHeap(1<<30, 100<<20, n.Server(), func() int64 {
+		intra, _ := inj.JVMLeakBytes()
+		return intra
+	})
+	svc := NewService(k, n, n.Server(), heap, Config{
+		Malarm: 350 << 20, Msufficient: 800 << 20, Interval: 5 * time.Second,
+	})
+	svc.Start()
+	inj.GrowJVMLeak(700<<20, 0)
+	k.RunFor(5 * time.Minute)
+	if svc.ProcessRestarts != 1 {
+		t.Fatalf("process restarts = %d, want 1", svc.ProcessRestarts)
+	}
+	if avail := heap.Available(); avail < 800<<20 {
+		t.Fatalf("available = %dMB after process rejuvenation", avail>>20)
+	}
+	svc.Stop()
+}
+
+func TestWholeProcessRejuvenationMode(t *testing.T) {
+	k := sim.NewKernel(5)
+	n, _ := testNode(t, k)
+	heap := NewHeap(1<<30, 100<<20, n.Server(), nil)
+	svc := NewService(k, n, n.Server(), heap, Config{
+		Malarm: 350 << 20, Msufficient: 800 << 20,
+		Interval: 5 * time.Second, UseProcessRestart: true,
+	})
+	svc.Start()
+	c, _ := n.Server().Container(ebid.ViewItem)
+	c.Leak(700 << 20)
+	k.RunFor(2 * time.Minute)
+	if svc.ProcessRestarts != 1 || svc.ComponentReboots != 0 {
+		t.Fatalf("restarts=%d µRBs=%d, want 1/0", svc.ProcessRestarts, svc.ComponentReboots)
+	}
+	svc.Stop()
+}
+
+func TestSamplesRecorded(t *testing.T) {
+	k := sim.NewKernel(6)
+	n, _ := testNode(t, k)
+	heap := NewHeap(1<<30, 0, n.Server(), nil)
+	svc := NewService(k, n, n.Server(), heap, Config{Malarm: 1, Msufficient: 2, Interval: time.Second})
+	svc.Start()
+	k.RunFor(10 * time.Second)
+	if len(svc.Samples) < 9 {
+		t.Fatalf("samples = %d, want ~10", len(svc.Samples))
+	}
+	svc.Stop()
+	k.RunFor(time.Minute)
+	after := len(svc.Samples)
+	k.RunFor(time.Minute)
+	if len(svc.Samples) != after {
+		t.Fatal("samples recorded after Stop")
+	}
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	k.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	k.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Drain()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		k.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	k.Drain()
+	if len(got) != 50 {
+		t.Fatalf("executed %d events, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order broken at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(5*time.Second, func() { fired = true })
+	k.RunUntil(3 * time.Second)
+	if fired {
+		t.Fatal("event fired before its timestamp")
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", k.Now())
+	}
+	k.RunUntil(5 * time.Second)
+	if !fired {
+		t.Fatal("event scheduled exactly at deadline did not fire")
+	}
+}
+
+func TestRunForComposes(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		k.Schedule(time.Second, tick)
+	}
+	k.Schedule(time.Second, tick)
+	k.RunFor(10 * time.Second)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	k.RunFor(5 * time.Second)
+	if count != 15 {
+		t.Fatalf("ticks = %d, want 15", count)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	tm := k.Schedule(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	k.RunFor(2 * time.Second)
+	if fired {
+		t.Fatal("stopped event fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.Schedule(time.Millisecond, func() {})
+	k.Drain()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestStopInterleavedWithPeek(t *testing.T) {
+	// A stopped event at the head of the queue must not block RunUntil.
+	k := NewKernel(1)
+	fired := 0
+	tm := k.Schedule(time.Second, func() { fired++ })
+	k.Schedule(2*time.Second, func() { fired++ })
+	tm.Stop()
+	k.RunUntil(3 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(10 * time.Second)
+	fired := time.Duration(-1)
+	k.Schedule(-5*time.Second, func() { fired = k.Now() })
+	k.Drain()
+	if fired != 10*time.Second {
+		t.Fatalf("event fired at %v, want 10s", fired)
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(time.Minute)
+	var at time.Duration
+	k.ScheduleAt(10*time.Second, func() { at = k.Now() })
+	k.Drain()
+	if at != time.Minute {
+		t.Fatalf("past ScheduleAt fired at %v, want 1m", at)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		k := NewKernel(seed)
+		var stamps []time.Duration
+		var loop func()
+		n := 0
+		loop = func() {
+			stamps = append(stamps, k.Now())
+			n++
+			if n < 100 {
+				k.Schedule(k.Exponential(7*time.Second, 70*time.Second), loop)
+			}
+		}
+		k.Schedule(0, loop)
+		k.Drain()
+		return stamps
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i >= len(c) || a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestExponentialCap(t *testing.T) {
+	k := NewKernel(7)
+	for i := 0; i < 10000; i++ {
+		d := k.Exponential(7*time.Second, 70*time.Second)
+		if d < 0 || d > 70*time.Second {
+			t.Fatalf("draw %v outside [0, 70s]", d)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	k := NewKernel(7)
+	var sum time.Duration
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += k.Exponential(7*time.Second, 0)
+	}
+	mean := sum / n
+	if mean < 6500*time.Millisecond || mean > 7500*time.Millisecond {
+		t.Fatalf("sample mean %v too far from 7s", mean)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	k := NewKernel(3)
+	for i := 0; i < 10000; i++ {
+		d := k.Uniform(5*time.Millisecond, 10*time.Millisecond)
+		if d < 5*time.Millisecond || d >= 10*time.Millisecond {
+			t.Fatalf("uniform draw %v outside [5ms, 10ms)", d)
+		}
+	}
+	if got := k.Uniform(time.Second, time.Second); got != time.Second {
+		t.Fatalf("degenerate uniform = %v, want 1s", got)
+	}
+}
+
+func TestNormalNonNegative(t *testing.T) {
+	k := NewKernel(3)
+	for i := 0; i < 10000; i++ {
+		if d := k.Normal(time.Millisecond, 5*time.Millisecond); d < 0 {
+			t.Fatalf("normal draw %v negative", d)
+		}
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel(1)
+	k.SetEventLimit(10)
+	var loop func()
+	loop = func() { k.Schedule(time.Second, loop) }
+	k.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on event limit")
+		}
+	}()
+	k.RunUntil(time.Hour)
+}
+
+func TestNilEventPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil event")
+		}
+	}()
+	k.Schedule(0, nil)
+}
+
+// Property: for any set of delays, events fire in sorted timestamp order.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel(99)
+		var fired []time.Duration
+		for _, d := range delays {
+			k.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, k.Now())
+			})
+		}
+		k.Drain()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clock never moves backwards across an arbitrary event mix.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16, stops []bool) bool {
+		k := NewKernel(5)
+		last := time.Duration(-1)
+		ok := true
+		var timers []*Timer
+		for _, d := range delays {
+			timers = append(timers, k.Schedule(time.Duration(d)*time.Microsecond, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			}))
+		}
+		for i, s := range stops {
+			if s && i < len(timers) {
+				timers[i].Stop()
+			}
+		}
+		k.Drain()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 25; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	k.Drain()
+	if k.Processed() != 25 {
+		t.Fatalf("Processed = %d, want 25", k.Processed())
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(time.Second, func() {})
+	k.Schedule(2*time.Second, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	k.Drain()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", k.Pending())
+	}
+}

@@ -1,0 +1,429 @@
+package db
+
+import (
+	"fmt"
+)
+
+// Tx is a transaction. Reads see a consistent view (committed state plus
+// the transaction's own writes); writes take exclusive row locks held
+// until commit or abort (strict two-phase locking). Lock conflicts fail
+// fast with ErrConflict rather than blocking — in the crash-only design,
+// callers treat a conflict like any other retryable failure.
+type Tx struct {
+	db   *DB
+	id   uint64
+	done bool
+	// writes buffers mutations: applied to tables (and the WAL) only at
+	// commit. Key order is preserved for deterministic WAL contents.
+	writes []walRecord
+	// locked remembers the row locks held: table → row ids.
+	locked map[string]map[int64]struct{}
+	// written overlays the tx's own uncommitted writes for reads:
+	// table → key → row (nil row means deleted).
+	overlay map[string]map[int64]Row
+}
+
+// Begin starts a transaction.
+func (d *DB) Begin() (*Tx, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	tx := &Tx{
+		db:      d,
+		id:      d.nextTx,
+		locked:  map[string]map[int64]struct{}{},
+		overlay: map[string]map[int64]Row{},
+	}
+	d.nextTx++
+	d.openTxs[tx.id] = tx
+	return tx, nil
+}
+
+// invalidate is called with db.mu held when the database crashes under an
+// open transaction.
+func (t *Tx) invalidate() { t.done = true }
+
+// ID returns the transaction's identifier.
+func (t *Tx) ID() uint64 { return t.id }
+
+func (t *Tx) table(name string) (*table, error) {
+	tbl, ok := t.db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return tbl, nil
+}
+
+// lock acquires the exclusive lock for (table, key) or fails fast.
+func (t *Tx) lock(tbl *table, tableName string, key int64) error {
+	owner, held := tbl.locks[key]
+	if held && owner != t.id {
+		t.db.conflicts++
+		return fmt.Errorf("%w: row %d of %s held by tx %d", ErrConflict, key, tableName, owner)
+	}
+	tbl.locks[key] = t.id
+	set := t.locked[tableName]
+	if set == nil {
+		set = map[int64]struct{}{}
+		t.locked[tableName] = set
+	}
+	set[key] = struct{}{}
+	return nil
+}
+
+func (t *Tx) overlayGet(tableName string, key int64) (Row, bool) {
+	if m, ok := t.overlay[tableName]; ok {
+		if r, ok := m[key]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+func (t *Tx) overlaySet(tableName string, key int64, r Row) {
+	m := t.overlay[tableName]
+	if m == nil {
+		m = map[int64]Row{}
+		t.overlay[tableName] = m
+	}
+	m[key] = r
+}
+
+func (t *Tx) guard() error {
+	if t.done {
+		return ErrTxDone
+	}
+	if t.db.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Insert adds a new row with an auto-assigned primary key and returns the
+// key. The row is validated against the schema.
+func (t *Tx) Insert(tableName string, r Row) (int64, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return 0, err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	if err := tbl.validate(r); err != nil {
+		return 0, err
+	}
+	key := tbl.nextKey
+	tbl.nextKey++
+	if err := t.lock(tbl, tableName, key); err != nil {
+		return 0, err
+	}
+	row := r.clone()
+	t.writes = append(t.writes, walRecord{Kind: recInsert, Table: tableName, Key: key, Row: row})
+	t.overlaySet(tableName, key, row)
+	return key, nil
+}
+
+// InsertWithKey adds a row under a caller-chosen primary key (used for
+// dataset loading and the IDManager component, which generates
+// application-specific primary keys).
+func (t *Tx) InsertWithKey(tableName string, key int64, r Row) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := tbl.validate(r); err != nil {
+		return err
+	}
+	if _, exists := tbl.rows[key]; exists {
+		return fmt.Errorf("%w: %d in %s", ErrDupKey, key, tableName)
+	}
+	if r, ok := t.overlayGet(tableName, key); ok && r != nil {
+		return fmt.Errorf("%w: %d in %s (uncommitted)", ErrDupKey, key, tableName)
+	}
+	if err := t.lock(tbl, tableName, key); err != nil {
+		return err
+	}
+	if key >= tbl.nextKey {
+		tbl.nextKey = key + 1
+	}
+	row := r.clone()
+	t.writes = append(t.writes, walRecord{Kind: recInsert, Table: tableName, Key: key, Row: row})
+	t.overlaySet(tableName, key, row)
+	return nil
+}
+
+// Get returns a copy of the row with the given key, honoring the
+// transaction's own uncommitted writes.
+func (t *Tx) Get(tableName string, key int64) (Row, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return nil, err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := t.overlayGet(tableName, key); ok {
+		if r == nil {
+			return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+		}
+		return r.clone(), nil
+	}
+	r, ok := tbl.rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+	}
+	return r.clone(), nil
+}
+
+// Update overwrites the row with the given key. The row is validated.
+func (t *Tx) Update(tableName string, key int64, r Row) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := tbl.validate(r); err != nil {
+		return err
+	}
+	if ov, ok := t.overlayGet(tableName, key); ok && ov == nil {
+		return fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+	}
+	if _, ok := t.overlayGet(tableName, key); !ok {
+		if _, exists := tbl.rows[key]; !exists {
+			return fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+		}
+	}
+	if err := t.lock(tbl, tableName, key); err != nil {
+		return err
+	}
+	row := r.clone()
+	t.writes = append(t.writes, walRecord{Kind: recUpdate, Table: tableName, Key: key, Row: row})
+	t.overlaySet(tableName, key, row)
+	return nil
+}
+
+// Delete removes the row with the given key.
+func (t *Tx) Delete(tableName string, key int64) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return err
+	}
+	if ov, ok := t.overlayGet(tableName, key); ok && ov == nil {
+		return fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+	}
+	if _, ok := t.overlayGet(tableName, key); !ok {
+		if _, exists := tbl.rows[key]; !exists {
+			return fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+		}
+	}
+	if err := t.lock(tbl, tableName, key); err != nil {
+		return err
+	}
+	t.writes = append(t.writes, walRecord{Kind: recDelete, Table: tableName, Key: key})
+	t.overlaySet(tableName, key, nil)
+	return nil
+}
+
+// Lookup returns the keys of committed rows whose indexed column equals
+// value. The column must be declared in Schema.Indexes. Uncommitted writes
+// of this transaction are merged in.
+func (t *Tx) Lookup(tableName, column string, value any) ([]int64, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return nil, err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := tbl.indexes[column]
+	if !ok {
+		return nil, fmt.Errorf("db: no index on %s.%s", tableName, column)
+	}
+	seen := map[int64]bool{}
+	var keys []int64
+	for id := range idx[value] {
+		seen[id] = true
+		keys = append(keys, id)
+	}
+	// Merge this transaction's overlay.
+	for id, row := range t.overlay[tableName] {
+		if row == nil {
+			if seen[id] {
+				// deleted by this tx: remove
+				for i, k := range keys {
+					if k == id {
+						keys = append(keys[:i], keys[i+1:]...)
+						break
+					}
+				}
+			}
+			continue
+		}
+		if row[column] == value && !seen[id] {
+			keys = append(keys, id)
+		}
+	}
+	sort64(keys)
+	return keys, nil
+}
+
+// Scan calls fn for every committed row (merged with the transaction's
+// overlay) in ascending key order. fn must not retain the row.
+func (t *Tx) Scan(tableName string, fn func(key int64, r Row) bool) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return err
+	}
+	keys := make([]int64, 0, len(tbl.rows))
+	for k := range tbl.rows {
+		keys = append(keys, k)
+	}
+	for k, row := range t.overlay[tableName] {
+		if row != nil {
+			if _, exists := tbl.rows[k]; !exists {
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort64(keys)
+	for _, k := range keys {
+		row := tbl.rows[k]
+		if ov, ok := t.overlayGet(tableName, k); ok {
+			row = ov
+		}
+		if row == nil {
+			continue
+		}
+		if !fn(k, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func sort64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Commit atomically applies the transaction's writes, appends them to the
+// WAL, and releases all locks.
+func (t *Tx) Commit() error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return err
+	}
+	t.done = true
+	delete(t.db.openTxs, t.id)
+	// Durability first: the WAL records the commit before tables mutate.
+	t.db.wal.appendCommit(t.id, t.writes)
+	for _, w := range t.writes {
+		tbl := t.db.tables[w.Table]
+		switch w.Kind {
+		case recInsert, recUpdate:
+			if old, ok := tbl.rows[w.Key]; ok {
+				tbl.indexRemove(w.Key, old)
+			}
+			tbl.rows[w.Key] = w.Row.clone()
+			tbl.indexAdd(w.Key, w.Row)
+		case recDelete:
+			if old, ok := tbl.rows[w.Key]; ok {
+				tbl.indexRemove(w.Key, old)
+				delete(tbl.rows, w.Key)
+			}
+		}
+	}
+	t.releaseLocks()
+	t.db.commits++
+	return nil
+}
+
+// Abort discards the transaction's writes and releases all locks. The
+// container calls this automatically for transactions open at µRB time:
+// "If an EJB is involved in any transactions at the time of a microreboot,
+// they are all automatically aborted by the container and rolled back by
+// the database."
+func (t *Tx) Abort() error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	delete(t.db.openTxs, t.id)
+	t.releaseLocks()
+	t.db.aborts++
+	return nil
+}
+
+// Done reports whether the transaction has committed or aborted.
+func (t *Tx) Done() bool {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return t.done
+}
+
+func (t *Tx) releaseLocks() {
+	for tableName, keys := range t.locked {
+		tbl := t.db.tables[tableName]
+		if tbl == nil {
+			continue
+		}
+		for k := range keys {
+			if tbl.locks[k] == t.id {
+				delete(tbl.locks, k)
+			}
+		}
+	}
+	t.locked = map[string]map[int64]struct{}{}
+}
+
+// AbortAll aborts every open transaction whose id is accepted by keep
+// returning false. Passing nil aborts all open transactions. It returns
+// the number aborted. The microreboot machinery uses this to roll back
+// transactions belonging to rebooted components.
+func (d *DB) AbortAll(keep func(txID uint64) bool) int {
+	d.mu.Lock()
+	var victims []*Tx
+	for id, tx := range d.openTxs {
+		if keep == nil || !keep(id) {
+			victims = append(victims, tx)
+		}
+	}
+	d.mu.Unlock()
+	for _, tx := range victims {
+		_ = tx.Abort() // already-finished txs are fine
+	}
+	return len(victims)
+}

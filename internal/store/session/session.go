@@ -1,0 +1,371 @@
+// Package session implements the dedicated session-state stores of the
+// paper's crash-only architecture.
+//
+// eBid keeps session state (selected items, userID, workflow state) out of
+// the application components, so that microreboots cannot lose or corrupt
+// it. Two stores are provided, mirroring the prototype:
+//
+//   - FastS: an in-process repository (the paper built it inside JBoss's
+//     embedded web server). Isolated behind compiler-enforced barriers, it
+//     is fast, survives microreboots, but is lost on a process restart.
+//   - SSM: a clustered session-state store on separate machines (Ling et
+//     al., NSDI'04), lease-based and checksummed. Slower (marshalling +
+//     network), but survives µRBs, process restarts, and node reboots;
+//     corrupted objects are detected via checksum and discarded
+//     automatically; orphaned state is garbage-collected when its lease
+//     expires.
+//
+// Both implement the Store interface so the application is oblivious to
+// which one backs it — the property that makes recovery decoupling work.
+package session
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Session is an HttpSession analog: the unit of atomic read/write.
+type Session struct {
+	ID      string
+	UserID  int64
+	Data    map[string]string
+	Items   []int64 // items selected for bid/buy/sell
+	Created time.Duration
+}
+
+// Clone returns a deep copy, so callers can never alias store internals.
+func (s *Session) Clone() *Session {
+	if s == nil {
+		return nil
+	}
+	c := &Session{ID: s.ID, UserID: s.UserID, Created: s.Created}
+	if s.Data != nil {
+		c.Data = make(map[string]string, len(s.Data))
+		for k, v := range s.Data {
+			c.Data[k] = v
+		}
+	}
+	if s.Items != nil {
+		c.Items = append([]int64(nil), s.Items...)
+	}
+	return c
+}
+
+// Errors returned by session stores.
+var (
+	ErrNotFound  = errors.New("session: not found")
+	ErrCorrupted = errors.New("session: object failed checksum and was discarded")
+	ErrDown      = errors.New("session: store unavailable")
+)
+
+// Store is the high-level API behind which session state is safeguarded.
+// Reads and writes are atomic at Session granularity.
+type Store interface {
+	// Read returns a copy of the session or ErrNotFound.
+	Read(id string) (*Session, error)
+	// Write stores a copy of the session atomically.
+	Write(s *Session) error
+	// Delete removes the session; deleting a missing session is a no-op.
+	Delete(id string) error
+	// Len reports how many sessions are stored.
+	Len() int
+	// SurvivesProcessRestart distinguishes FastS (false) from SSM (true).
+	SurvivesProcessRestart() bool
+	// Name identifies the store in experiment output ("FastS" or "SSM").
+	Name() string
+}
+
+// FastS is the in-process store. The zero value is not usable; use
+// NewFastS.
+type FastS struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// NewFastS returns an empty in-process session store.
+func NewFastS() *FastS {
+	return &FastS{sessions: map[string]*Session{}}
+}
+
+// Name implements Store.
+func (f *FastS) Name() string { return "FastS" }
+
+// SurvivesProcessRestart implements Store: FastS lives inside the process.
+func (f *FastS) SurvivesProcessRestart() bool { return false }
+
+// Read implements Store.
+func (f *FastS) Read(id string) (*Session, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s.Clone(), nil
+}
+
+// Write implements Store.
+func (f *FastS) Write(s *Session) error {
+	if s == nil || s.ID == "" {
+		return errors.New("session: Write requires a session with an ID")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sessions[s.ID] = s.Clone()
+	return nil
+}
+
+// Delete implements Store.
+func (f *FastS) Delete(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.sessions, id)
+	return nil
+}
+
+// Len implements Store.
+func (f *FastS) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.sessions)
+}
+
+// LoseAll simulates the process restart that destroys FastS contents —
+// the cause of the post-recovery failures in Figure 1's process-restart
+// run. It returns how many sessions were lost.
+func (f *FastS) LoseAll() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.sessions)
+	f.sessions = map[string]*Session{}
+	return n
+}
+
+// Corrupt overwrites fields of a stored session in place, bypassing the
+// atomic API — the "corrupt data inside FastS" faults of Table 2. mode is
+// one of "null", "invalid", "wrong". It returns an error if the session
+// does not exist.
+func (f *FastS) Corrupt(id, mode string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch mode {
+	case "null":
+		s.Data = nil
+		s.UserID = 0
+	case "invalid":
+		s.UserID = -1 // no valid user has a negative ID
+	case "wrong":
+		s.UserID++ // valid-looking but belongs to someone else
+	default:
+		return fmt.Errorf("session: unknown corruption mode %q", mode)
+	}
+	return nil
+}
+
+// IDs returns the stored session ids in sorted order (test/diagnostic aid).
+func (f *FastS) IDs() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]string, 0, len(f.sessions))
+	for id := range f.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ssmEntry is a marshalled session plus its integrity and lease metadata.
+type ssmEntry struct {
+	blob     []byte
+	checksum uint32
+	expires  time.Duration
+}
+
+// SSM is the clustered, lease-based store. Entries are stored marshalled
+// (the paper pays marshalling + network cost for the physical isolation;
+// our cost model charges it in internal/ebid). The store survives process
+// restarts by construction — it models state on separate machines.
+type SSM struct {
+	mu      sync.Mutex
+	entries map[string]ssmEntry
+	// now supplies virtual time for lease accounting.
+	now func() time.Duration
+	// leaseTTL is how long a written session stays alive without renewal.
+	leaseTTL time.Duration
+	down     bool
+	// discarded counts checksum failures (auto-discarded objects).
+	discarded int
+}
+
+// DefaultLeaseTTL is the session lease used when none is specified; the
+// paper's session model discards state at logout or session timeout.
+const DefaultLeaseTTL = 30 * time.Minute
+
+// NewSSM returns a store whose lease clock is driven by now. A nil now
+// makes every lease effectively immortal (useful for unit tests).
+func NewSSM(now func() time.Duration, leaseTTL time.Duration) *SSM {
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTTL
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &SSM{entries: map[string]ssmEntry{}, now: now, leaseTTL: leaseTTL}
+}
+
+// Name implements Store.
+func (m *SSM) Name() string { return "SSM" }
+
+// SurvivesProcessRestart implements Store: SSM state lives off-node.
+func (m *SSM) SurvivesProcessRestart() bool { return true }
+
+func marshalSession(s *Session) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("session: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalSession(b []byte) (*Session, error) {
+	var s Session
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("session: unmarshal: %w", err)
+	}
+	return &s, nil
+}
+
+// Write implements Store; it marshals the session, checksums the blob and
+// (re)starts its lease.
+func (m *SSM) Write(s *Session) error {
+	if s == nil || s.ID == "" {
+		return errors.New("session: Write requires a session with an ID")
+	}
+	blob, err := marshalSession(s)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return ErrDown
+	}
+	m.entries[s.ID] = ssmEntry{
+		blob:     blob,
+		checksum: crc32.ChecksumIEEE(blob),
+		expires:  m.now() + m.leaseTTL,
+	}
+	return nil
+}
+
+// Read implements Store. A checksum mismatch discards the object and
+// returns ErrCorrupted — the self-protection noted in Table 2: "corruption
+// detected via checksum; bad object automatically discarded".
+func (m *SSM) Read(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, ErrDown
+	}
+	e, ok := m.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if e.expires < m.now() {
+		delete(m.entries, id)
+		return nil, fmt.Errorf("%w: %s (lease expired)", ErrNotFound, id)
+	}
+	if crc32.ChecksumIEEE(e.blob) != e.checksum {
+		delete(m.entries, id)
+		m.discarded++
+		return nil, fmt.Errorf("%w: %s", ErrCorrupted, id)
+	}
+	// Renew the lease on access.
+	e.expires = m.now() + m.leaseTTL
+	m.entries[id] = e
+	return unmarshalSession(e.blob)
+}
+
+// Delete implements Store.
+func (m *SSM) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return ErrDown
+	}
+	delete(m.entries, id)
+	return nil
+}
+
+// Len implements Store. Expired entries still awaiting garbage collection
+// are counted.
+func (m *SSM) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// ReapExpired removes sessions whose leases have lapsed and returns how
+// many were collected.
+func (m *SSM) ReapExpired() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	n := 0
+	for id, e := range m.entries {
+		if e.expires < now {
+			delete(m.entries, id)
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptBits flips a bit in the stored blob for id — the "corrupt data
+// inside SSM (via bit flips)" fault of Table 2.
+func (m *SSM) CorruptBits(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if len(e.blob) == 0 {
+		return errors.New("session: empty blob")
+	}
+	blob := append([]byte(nil), e.blob...)
+	blob[len(blob)/2] ^= 0x10
+	e.blob = blob // checksum left stale: mismatch now detectable
+	m.entries[id] = e
+	return nil
+}
+
+// Discarded reports how many corrupted objects the store has discarded.
+func (m *SSM) Discarded() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.discarded
+}
+
+// SetDown marks the store unreachable (for failure-injection tests).
+func (m *SSM) SetDown(down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down = down
+}
+
+// Compile-time interface checks.
+var (
+	_ Store = (*FastS)(nil)
+	_ Store = (*SSM)(nil)
+)

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebid"
+	"repro/internal/metrics"
+)
+
+// phase is where a client is in its session lifecycle.
+type phase int
+
+const (
+	phaseStart    phase = iota // next op: Home
+	phaseLogin                 // next op: Authenticate or RegisterNewUser
+	phaseBrowsing              // logged in, free choice
+	phaseFlow                  // mid two-step flow; pendingOp is the second step
+)
+
+// client is one emulated user: a Markov chain walker with think times.
+type client struct {
+	e       *Emulator
+	id      int
+	phase   phase
+	quick   bool // this session is a quick login-check-logout visit
+	quickN  int  // ops completed within the quick visit
+	pending string
+
+	sessionSeq int
+	inFlight   bool
+
+	action []metrics.Op
+	failed bool
+}
+
+func newClient(e *Emulator, id int) *client {
+	return &client{e: e, id: id, phase: phaseStart}
+}
+
+func (c *client) sessionID() string {
+	return fmt.Sprintf("c%d-s%d", c.id, c.sessionSeq)
+}
+
+// step chooses and issues the next operation.
+func (c *client) step() {
+	if c.e.stopped || c.inFlight {
+		return
+	}
+	op, args := c.nextOp()
+	c.issue(op, args)
+}
+
+// nextOp implements the Markov chain. Weights are tuned so the
+// steady-state mix reproduces Table 1 (verified by TestTable1Mix).
+func (c *client) nextOp() (string, map[string]any) {
+	rng := c.e.kernel.Rand()
+	switch c.phase {
+	case phaseStart:
+		c.phase = phaseLogin
+		c.quick = rng.Float64() < c.e.cfg.QuickVisitP
+		c.quickN = 0
+		return ebid.OpHome, nil
+	case phaseLogin:
+		c.phase = phaseBrowsing
+		if rng.Float64() < 0.13 {
+			return ebid.RegisterNewUser, map[string]any{"region": c.randRegion()}
+		}
+		return ebid.Authenticate, map[string]any{"user": c.randUser()}
+	case phaseFlow:
+		op := c.pending
+		c.pending = ""
+		c.phase = phaseBrowsing
+		switch op {
+		case ebid.CommitBid:
+			return op, map[string]any{"amount": float64(1 + rng.Intn(500))}
+		case ebid.CommitUserFeedback:
+			return op, map[string]any{"rating": int64(rng.Intn(11) - 5)}
+		case ebid.RegisterNewItem:
+			return op, map[string]any{"category": c.randCategory()}
+		default:
+			return op, nil
+		}
+	}
+
+	// phaseBrowsing. Quick visits go straight to AboutMe then Logout.
+	if c.quick {
+		c.quickN++
+		if c.quickN == 1 {
+			return ebid.AboutMe, nil
+		}
+		c.phase = phaseStart
+		c.sessionEnds()
+		return ebid.OpLogout, nil
+	}
+
+	x := rng.Float64()
+	switch {
+	case x < 0.13: // session end
+		c.phase = phaseStart
+		c.sessionEnds()
+		return ebid.OpLogout, nil
+	case x < 0.13+0.46: // read-only DB access
+		y := rng.Float64()
+		switch {
+		case y < 0.22:
+			return ebid.BrowseCategories, nil
+		case y < 0.32:
+			return ebid.BrowseRegions, nil
+		case y < 0.66:
+			return ebid.ViewItem, map[string]any{"item": c.randItem()}
+		case y < 0.78:
+			return ebid.ViewUserInfo, map[string]any{"user": c.randUser()}
+		case y < 0.88:
+			return ebid.ViewBidHistory, map[string]any{"item": c.randItem()}
+		default:
+			return ebid.AboutMe, nil
+		}
+	case x < 0.13+0.46+0.19: // search
+		if rng.Float64() < 0.6 {
+			return ebid.SearchItemsByCategory, map[string]any{"category": c.randCategory()}
+		}
+		return ebid.SearchItemsByRegion, map[string]any{"region": c.randRegion()}
+	case x < 0.13+0.46+0.19+0.09: // bid flow
+		c.phase = phaseFlow
+		c.pending = ebid.CommitBid
+		return ebid.MakeBid, map[string]any{"item": c.randItem()}
+	case x < 0.13+0.46+0.19+0.09+0.04: // buy flow
+		c.phase = phaseFlow
+		c.pending = ebid.CommitBuyNow
+		return ebid.DoBuyNow, map[string]any{"item": c.randItem()}
+	case x < 0.13+0.46+0.19+0.09+0.04+0.04: // feedback flow
+		c.phase = phaseFlow
+		c.pending = ebid.CommitUserFeedback
+		return ebid.LeaveUserFeedback, map[string]any{"user": c.randUser()}
+	case x < 0.13+0.46+0.19+0.09+0.04+0.04+0.02: // sell flow
+		c.phase = phaseFlow
+		c.pending = ebid.RegisterNewItem
+		return ebid.OpSellForm, nil
+	default: // static browsing
+		return ebid.OpBrowseMenu, nil
+	}
+}
+
+func (c *client) randUser() int64     { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Users) }
+func (c *client) randItem() int64     { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Items) }
+func (c *client) randCategory() int64 { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Categories) }
+func (c *client) randRegion() int64   { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Regions) }
+
+// sessionEnds rotates the session id for the next login.
+func (c *client) sessionEnds() { c.sessionSeq++ }
+
+// issue submits the op to the frontend.
+func (c *client) issue(op string, args map[string]any) {
+	c.inFlight = true
+	c.e.issued++
+	issued := c.e.kernel.Now()
+	sid := c.sessionID()
+	req := &Request{
+		ClientID:  c.id,
+		Op:        op,
+		SessionID: sid,
+		Args:      args,
+		Issued:    issued,
+	}
+	req.Complete = func(resp Response) {
+		c.inFlight = false
+		c.complete(op, issued, resp)
+	}
+	c.e.frontend.Submit(req)
+}
+
+// complete handles the outcome, performs Taw accounting, and schedules
+// the next step after a think time.
+func (c *client) complete(op string, issued time.Duration, resp Response) {
+	now := c.e.kernel.Now()
+	info, _ := ebid.Info(op)
+	ok := resp.OK() && !looksFaulty(resp.Body)
+	c.action = append(c.action, metrics.Op{
+		Start: issued,
+		End:   now,
+		Name:  op,
+		Group: info.Group,
+		OK:    ok,
+	})
+	if !ok {
+		c.failed = true
+		if c.e.onFailure != nil {
+			c.e.onFailure(c.id, op, resp)
+		}
+		// A failed action aborts any in-progress flow and, on session
+		// loss, sends the user back to the login page.
+		c.closeAction(true)
+		c.pending = ""
+		if isSessionLoss(resp.Err) || c.phase == phaseFlow {
+			c.phase = phaseStart
+			c.sessionEnds()
+		}
+		if c.phase == phaseFlow {
+			c.phase = phaseBrowsing
+		}
+	} else {
+		if info.CommitPoint || len(c.action) >= c.e.cfg.MaxActionLen && c.phase != phaseFlow {
+			c.closeAction(false)
+		}
+	}
+	if c.e.stopped {
+		return
+	}
+	think := c.e.kernel.Exponential(c.e.cfg.ThinkMean, c.e.cfg.ThinkCap)
+	c.e.kernel.Schedule(think, c.step)
+}
+
+// closeAction finalizes the current action; failed marks it (and all of
+// its ops, retroactively) as bad Taw.
+func (c *client) closeAction(failed bool) {
+	if len(c.action) == 0 {
+		c.failed = false
+		return
+	}
+	if c.e.recorder != nil {
+		c.e.recorder.Action(c.action, failed || c.failed)
+	}
+	c.action = nil
+	c.failed = false
+}
+
+// isSessionLoss classifies errors that mean the session vanished.
+func isSessionLoss(err error) bool {
+	if err == nil {
+		return false
+	}
+	return strings.Contains(err.Error(), "not logged in")
+}
+
+// looksFaulty is the client-side keyword scan: received HTML is searched
+// for keywords indicative of failure.
+func looksFaulty(body string) bool {
+	for _, kw := range []string{"exception", "failed", "error"} {
+		if strings.Contains(strings.ToLower(body), kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors recognized across package boundaries.
+var errKilled = errors.New("workload: request killed by recovery")
+
+// KilledError returns the sentinel used by frontends to fail requests
+// whose shepherds were destroyed by a microreboot.
+func KilledError() error { return errKilled }
+
+var _ = core.ErrHang // keep the core dependency explicit
