@@ -3,12 +3,15 @@
 // Two components are deployed on an application server; one is
 // microrebooted while the other keeps serving; a call into the recovering
 // component receives RetryAfter, and after reintegration everything
-// works again.
+// works again. Calls flow through Server.Invoke, which runs the
+// interceptor pipeline — here a one-line logging interceptor — and binds
+// a context to each request.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -21,12 +24,18 @@ type greeter struct{ name string }
 
 func (g *greeter) Init(env *core.Env) error { return nil }
 func (g *greeter) Stop() error              { return nil }
-func (g *greeter) Serve(call *core.Call) (any, error) {
+func (g *greeter) Serve(ctx context.Context, call *core.Call) (any, error) {
 	return fmt.Sprintf("%s handled %s", g.name, call.Op), nil
 }
 
 func main() {
 	srv := core.NewServer()
+	// A logging interceptor observes every hop of every invocation.
+	srv.Use(func(ctx context.Context, call *core.Call, next core.Handler) (any, error) {
+		res, err := next(ctx, call)
+		fmt.Printf("  [interceptor] %s/%s err=%v\n", call.Component, call.Op, err)
+		return res, err
+	})
 	app := core.Application{
 		Name: "quickstart",
 		Components: []core.Descriptor{
@@ -40,18 +49,13 @@ func main() {
 	fmt.Println("deployed:", srv.Components())
 
 	invoke := func(name string) {
-		c, err := srv.Registry().Lookup(name)
+		res, err := srv.Invoke(context.Background(), name, &core.Call{Op: "hello"})
 		if err != nil {
 			var ra *core.RetryAfterError
 			if errors.As(err, &ra) {
 				fmt.Printf("%s: recovering, retry after %v\n", name, ra.After)
 				return
 			}
-			fmt.Printf("%s: %v\n", name, err)
-			return
-		}
-		res, err := c.Serve(&core.Call{Op: "hello"})
-		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			return
 		}
@@ -63,7 +67,8 @@ func main() {
 	invoke("Sidekick")
 
 	// Begin a microreboot of Greeter: its name is bound to a sentinel,
-	// instances destroyed, resources released. Sidekick is untouched.
+	// instances destroyed, resources released, shepherded calls killed
+	// via context cancellation. Sidekick is untouched.
 	rb, err := srv.BeginMicroreboot("Greeter")
 	if err != nil {
 		log.Fatal(err)

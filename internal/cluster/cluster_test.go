@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ebid"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/store/db"
@@ -171,14 +172,13 @@ func TestRetry503MasksMicroreboot(t *testing.T) {
 func TestHungRequestsOccupyWorkersUntilKilled(t *testing.T) {
 	k := sim.NewKernel(5)
 	n := newTestNode(t, k, NodeConfig{Name: "n0", Workers: 2, RequestTTL: time.Hour})
-	// Wedge both workers via a component that hangs.
-	c, err := n.Server().Container(ebid.ViewItem)
+	// Wedge both workers via an injected infinite loop: the fault hook
+	// runs as an interceptor on the node's server.
+	inj := faults.NewInjector(n.Server(), nil, nil)
+	wedge, err := inj.Inject(faults.Spec{Kind: faults.InfiniteLoop, Component: ebid.ViewItem})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.SetFaultHook(func(call *core.Call) (bool, any, error) {
-		return false, nil, core.ErrHang
-	})
 	var results []error
 	for i := 0; i < 2; i++ {
 		n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},
@@ -196,7 +196,7 @@ func TestHungRequestsOccupyWorkersUntilKilled(t *testing.T) {
 		t.Fatalf("requests completed while wedged: %v", results)
 	}
 	// µRB the hung component: shepherds killed, workers freed, queue drains.
-	c.SetFaultHook(nil)
+	wedge.Deactivate()
 	if _, err := n.Microreboot(ebid.ViewItem); err != nil {
 		t.Fatal(err)
 	}
@@ -215,10 +215,10 @@ func TestHungRequestsOccupyWorkersUntilKilled(t *testing.T) {
 func TestRequestTTLPurgesStuckRequests(t *testing.T) {
 	k := sim.NewKernel(6)
 	n := newTestNode(t, k, NodeConfig{Name: "n0", Workers: 1, RequestTTL: 10 * time.Second})
-	c, _ := n.Server().Container(ebid.ViewItem)
-	c.SetFaultHook(func(call *core.Call) (bool, any, error) {
-		return false, nil, core.ErrHang
-	})
+	inj := faults.NewInjector(n.Server(), nil, nil)
+	if _, err := inj.Inject(faults.Spec{Kind: faults.InfiniteLoop, Component: ebid.ViewItem}); err != nil {
+		t.Fatal(err)
+	}
 	var got error
 	fired := false
 	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},

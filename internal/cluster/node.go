@@ -15,6 +15,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -221,7 +222,16 @@ func (n *Node) start(p *pending) {
 	p.req.Call = call
 	n.serving[call] = p
 
-	body, err := n.app.Execute(call)
+	// The node runs on the discrete-event kernel, so the invocation
+	// completes synchronously; hang parking stays off and ErrHang is
+	// surfaced for virtual-time parking below. The request context still
+	// threads through the invocation pipeline (interceptors, lease
+	// bookkeeping) like a real front end's would.
+	ctx := p.req.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body, err := n.app.Execute(ctx, call)
 
 	if errors.Is(err, core.ErrHang) {
 		// Deadlock or infinite loop: the shepherding thread is stuck.

@@ -9,19 +9,30 @@
 // the name is bound to a sentinel and lookups return ErrRetryAfter, which
 // the web tier translates into HTTP 503 + Retry-After.
 //
+// Invocations enter through Server.Invoke, which binds a root
+// context.Context to the request (the execution lease becomes a context
+// deadline; a microreboot kill becomes a context cancellation) and runs an
+// Interceptor pipeline before dispatching to the component's container.
+// The shepherding thread of the paper is therefore a context tree: one
+// cancellation kills the whole request, wherever it currently executes.
+//
 // Microreboot(name) expands the target to its recovery group — the
 // transitive closure of hard inter-component references declared in the
 // descriptors — then, for each member: destroys all extant instances,
-// kills the shepherding calls associated with them, aborts their open
-// transactions, releases leased resources, discards server metadata held
-// on the component's behalf, and finally reinstantiates and reinitializes
-// the component. The component's Factory (the classloader analog) is the
-// only thing preserved, exactly as JBoss preserves the EJB classloader.
+// kills the shepherding calls associated with them (by cancelling their
+// root contexts), aborts their open transactions, releases leased
+// resources, discards server metadata held on the component's behalf, and
+// finally reinstantiates and reinitializes the component. The component's
+// Factory (the classloader analog) is the only thing preserved, exactly
+// as JBoss preserves the EJB classloader.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -78,20 +89,31 @@ const (
 type Call struct {
 	// Op is the end-user operation, e.g. "MakeBid".
 	Op string
+	// Component is the component this (sub)invocation targets; set by
+	// Server.Invoke before the interceptor chain runs.
+	Component string
 	// SessionID identifies the HTTP session (cookie analog).
 	SessionID string
 	// Args carries operation arguments.
 	Args map[string]any
-	// TTL is the execution lease: a stuck call is purged when it expires.
+	// TTL is the execution lease: Server.Invoke enforces it as a context
+	// deadline on the root invocation, so a stuck call observes
+	// cancellation (cause ErrLeaseExpired) when it expires.
 	TTL time.Duration
 	// Path accumulates the components traversed, in order.
 	Path []string
 	// parent links a sub-invocation back to the call it was spawned
-	// from: one Java thread shepherds a user request through multiple
-	// EJBs, so killing any hop kills the whole request.
+	// from: one shepherd (context tree) carries a user request through
+	// multiple components, so killing any hop kills the whole request.
 	parent *Call
 	// killed is set when a microreboot destroys the call's shepherd.
-	killed bool
+	killed atomic.Bool
+
+	// mu guards the context binding below; it is only meaningful on the
+	// root call of a request.
+	mu     sync.Mutex
+	bound  bool
+	cancel context.CancelCauseFunc
 }
 
 // Child derives a sub-invocation for an inter-component call: it shares
@@ -112,13 +134,21 @@ func (c *Call) Via(component string) {
 }
 
 // Killed reports whether a microreboot killed this call's shepherd.
-func (c *Call) Killed() bool { return c.killed }
+func (c *Call) Killed() bool { return c.killed.Load() }
 
-// Kill marks the call — and the request it belongs to — as killed.
+// Kill marks the call — and the request it belongs to — as killed, and
+// cancels the request's root context (cause ErrKilled) so a blocked
+// component observes ctx.Done() immediately.
 func (c *Call) Kill() {
-	c.killed = true
-	if c.parent != nil {
-		c.parent.Kill()
+	for p := c; p != nil; p = p.parent {
+		p.killed.Store(true)
+	}
+	r := c.Root()
+	r.mu.Lock()
+	cancel := r.cancel
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel(ErrKilled)
 	}
 }
 
@@ -129,6 +159,39 @@ func (c *Call) Root() *Call {
 		r = r.parent
 	}
 	return r
+}
+
+// bindContext attaches an invocation context to the request's root call:
+// the execution lease (TTL) becomes a deadline and Kill becomes a
+// cancellation. It is a no-op for sub-invocations of an already-bound
+// request (they inherit the caller's derived context). The returned
+// release func (nil when already bound) must run when the root invocation
+// finishes.
+func (c *Call) bindContext(parent context.Context) (context.Context, func()) {
+	r := c.Root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bound {
+		return parent, nil
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	stop := func() {}
+	if r.TTL > 0 {
+		ctx, stop = context.WithTimeoutCause(ctx, r.TTL, ErrLeaseExpired)
+	}
+	if r.killed.Load() {
+		cancel(ErrKilled)
+	}
+	r.bound = true
+	r.cancel = cancel
+	return ctx, func() {
+		stop()
+		cancel(context.Canceled)
+		r.mu.Lock()
+		r.bound = false
+		r.cancel = nil
+		r.mu.Unlock()
+	}
 }
 
 // Arg fetches a typed argument; ok is false when absent or mistyped.
@@ -153,8 +216,12 @@ type Component interface {
 	// after every microreboot; it must be idempotent with respect to
 	// external state.
 	Init(env *Env) error
-	// Serve handles one operation dispatched to this component.
-	Serve(call *Call) (any, error)
+	// Serve handles one operation dispatched to this component. The
+	// context is the request's shepherd: it is cancelled when a
+	// microreboot kills the call (cause ErrKilled) or the execution
+	// lease expires (cause ErrLeaseExpired). Components that block must
+	// select on ctx.Done().
+	Serve(ctx context.Context, call *Call) (any, error)
 	// Stop releases instance resources. It is called on graceful
 	// undeployment but NOT on a microreboot crash — µRBs forcefully
 	// destroy instances without relying on their cooperation.
@@ -212,8 +279,9 @@ type Env struct {
 	Resources map[string]any
 	// Now supplies virtual (or real) time.
 	Now func() time.Duration
-	// Server lets components (rarely) reach platform services, e.g. to
-	// register transactions for µRB-abort tracking.
+	// Server lets components reach platform services: inter-component
+	// calls go through Server.Invoke so the interceptor pipeline and
+	// shepherd tracking see every hop.
 	Server *Server
 	// componentName is the name of the component this Env was built for.
 	componentName string
@@ -247,7 +315,24 @@ var (
 	ErrComponentFault = errors.New("core: component fault")
 	// ErrStopped is returned by calls into an undeployed component.
 	ErrStopped = errors.New("core: component stopped")
+	// ErrKilled is the cancellation cause delivered to a call whose
+	// shepherd was destroyed by a microreboot.
+	ErrKilled = errors.New("core: call killed by microreboot")
+	// ErrLeaseExpired is the cancellation cause delivered to a call
+	// whose execution lease (TTL) ran out.
+	ErrLeaseExpired = errors.New("core: execution lease expired")
 )
+
+// CancelCause extracts the invocation-level failure behind a context
+// cancellation: ErrKilled, ErrLeaseExpired, or the raw context error when
+// the cancellation came from outside the server (e.g. an HTTP client
+// disconnect).
+func CancelCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
 
 // RetryAfterError tells the caller when to retry; the web tier maps it to
 // HTTP 503 with a Retry-After header (Section 6.2 of the paper).

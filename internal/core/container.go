@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -29,15 +30,11 @@ func (s ContainerState) String() string {
 	}
 }
 
-// FaultHook intercepts calls into a component, letting the fault injector
-// simulate the Table 2 failure modes. A non-nil returned error is
-// surfaced as the call's outcome; returning (true, nil) lets the call
-// proceed normally.
-type FaultHook func(call *Call) (proceed bool, result any, err error)
-
 // Container manages all instances of one component, the per-component
 // server metadata, and the component's volatile resource accounting. It is
-// the JBoss "management container" analog.
+// the JBoss "management container" analog. Cross-cutting concerns — fault
+// injection, metrics, call-path recording, shepherd tracking — live in
+// the Server's interceptor pipeline, not here.
 type Container struct {
 	mu   sync.Mutex
 	desc Descriptor
@@ -56,16 +53,7 @@ type Container struct {
 	// a µRB releases it. Drives the microrejuvenation experiments.
 	leakedBytes int64
 
-	// faultHook, when set, intercepts calls (fault injection).
-	faultHook FaultHook
-
-	// activeCalls are the in-flight calls currently shepherded through
-	// this component, so a µRB can kill them.
-	activeCalls map[*Call]struct{}
-
-	// stats
-	served   uint64
-	failed   uint64
+	// rebooted counts crash phases this container went through.
 	rebooted uint64
 
 	// recoveryEstimate is how long a µRB of this component is expected
@@ -75,10 +63,9 @@ type Container struct {
 
 func newContainer(desc Descriptor, env *Env) *Container {
 	return &Container{
-		desc:        desc,
-		env:         env,
-		state:       StateStopped,
-		activeCalls: map[*Call]struct{}{},
+		desc:  desc,
+		env:   env,
+		state: StateStopped,
 	}
 }
 
@@ -133,9 +120,10 @@ func (c *Container) initializeLocked() error {
 	return nil
 }
 
-// crash forcefully destroys all instances and kills shepherded calls. It
-// returns the killed calls and the number of leaked bytes released.
-func (c *Container) crash() (killed []*Call, freed int64) {
+// crash forcefully destroys all instances and discards metadata. It
+// returns the number of leaked bytes released. The shepherded calls are
+// killed by the Server, which owns shepherd tracking.
+func (c *Container) crash() (freed int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.state = StateRebooting
@@ -144,13 +132,8 @@ func (c *Container) crash() (killed []*Call, freed int64) {
 	c.txMethods = nil // discard server metadata
 	freed = c.leakedBytes
 	c.leakedBytes = 0
-	for call := range c.activeCalls {
-		call.Kill()
-		killed = append(killed, call)
-	}
-	c.activeCalls = map[*Call]struct{}{}
 	c.rebooted++
-	return killed, freed
+	return freed
 }
 
 // stop gracefully undeploys the component.
@@ -166,13 +149,6 @@ func (c *Container) stop() error {
 	c.instances = nil
 	c.state = StateStopped
 	return firstErr
-}
-
-// SetFaultHook installs (or clears, with nil) the fault-injection hook.
-func (c *Container) SetFaultHook(h FaultHook) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.faultHook = h
 }
 
 // CorruptTxMethodMap damages the live transaction method map (Table 2:
@@ -237,18 +213,11 @@ func (c *Container) LeakedBytes() int64 {
 	return c.leakedBytes
 }
 
-// Stats reports served/failed/rebooted counters.
-func (c *Container) Stats() (served, failed, rebooted uint64) {
+// Rebooted reports how many crash phases this container went through.
+func (c *Container) Rebooted() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.served, c.failed, c.rebooted
-}
-
-// ActiveCalls reports how many calls are currently inside the component.
-func (c *Container) ActiveCalls() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.activeCalls)
+	return c.rebooted
 }
 
 // ReplaceInstance discards one pooled instance and builds a fresh one.
@@ -271,9 +240,10 @@ func (c *Container) ReplaceInstance(i int) error {
 }
 
 // Serve dispatches a call to a pooled instance. It enforces the container
-// state, runs the fault hook, consults the transaction method map, tracks
-// the call for µRB killing, and records statistics.
-func (c *Container) Serve(call *Call) (any, error) {
+// state and consults the transaction method map; everything else about
+// the hop (path recording, metrics, fault hooks, kill tracking) happens
+// in the Server's interceptor pipeline before the call gets here.
+func (c *Container) Serve(ctx context.Context, call *Call) (any, error) {
 	c.mu.Lock()
 	switch c.state {
 	case StateRebooting:
@@ -288,47 +258,15 @@ func (c *Container) Serve(call *Call) (any, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s has no instances", ErrComponentFault, c.desc.Name)
 	}
-	hook := c.faultHook
 	idx := c.next % len(c.instances)
 	inst := c.instances[idx]
 	c.next++
-	c.activeCalls[call] = struct{}{}
-	c.served++
 	c.mu.Unlock()
-
-	call.Via(c.desc.Name)
-
-	defer func() {
-		c.mu.Lock()
-		delete(c.activeCalls, call)
-		c.mu.Unlock()
-	}()
-
-	if hook != nil {
-		proceed, res, err := hook(call)
-		if !proceed {
-			if err != nil {
-				c.mu.Lock()
-				c.failed++
-				c.mu.Unlock()
-			}
-			return res, err
-		}
-	}
 
 	// The transaction method map must be intact for any declared op.
 	if _, err := c.TxAttrFor(call.Op); err != nil {
-		c.mu.Lock()
-		c.failed++
-		c.mu.Unlock()
 		return nil, err
 	}
 
-	res, err := inst.Serve(call)
-	if err != nil {
-		c.mu.Lock()
-		c.failed++
-		c.mu.Unlock()
-	}
-	return res, err
+	return inst.Serve(ctx, call)
 }

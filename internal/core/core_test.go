@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,7 +20,7 @@ type echoComponent struct {
 }
 
 func (e *echoComponent) Init(env *Env) error { e.inited++; return nil }
-func (e *echoComponent) Serve(call *Call) (any, error) {
+func (e *echoComponent) Serve(ctx context.Context, call *Call) (any, error) {
 	return fmt.Sprintf("%s:%s", e.name, call.Op), nil
 }
 func (e *echoComponent) Stop() error { e.stopped++; return nil }
@@ -50,15 +51,13 @@ func deployEcho(t *testing.T, names ...string) *Server {
 	return s
 }
 
+func bg() context.Context { return context.Background() }
+
 func TestDeployAndServe(t *testing.T) {
 	s := deployEcho(t, "A", "B")
-	c, err := s.Registry().Lookup("A")
+	res, err := s.Invoke(bg(), "A", &Call{Op: "read"})
 	if err != nil {
-		t.Fatalf("Lookup: %v", err)
-	}
-	res, err := c.Serve(&Call{Op: "read"})
-	if err != nil {
-		t.Fatalf("Serve: %v", err)
+		t.Fatalf("Invoke: %v", err)
 	}
 	if res != "A:read" {
 		t.Fatalf("res = %v, want A:read", res)
@@ -83,9 +82,8 @@ func TestDeployErrors(t *testing.T) {
 
 func TestCallPathRecorded(t *testing.T) {
 	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
 	call := &Call{Op: "read"}
-	if _, err := c.Serve(call); err != nil {
+	if _, err := s.Invoke(bg(), "A", call); err != nil {
 		t.Fatal(err)
 	}
 	if len(call.Path) != 1 || call.Path[0] != "A" {
@@ -120,19 +118,15 @@ func TestMicrorebootLifecycle(t *testing.T) {
 	}
 
 	// B is unaffected.
-	if _, err := s.Registry().Lookup("B"); err != nil {
-		t.Fatalf("B lookup during A µRB: %v", err)
+	if _, err := s.Invoke(bg(), "B", &Call{Op: "read"}); err != nil {
+		t.Fatalf("B invoke during A µRB: %v", err)
 	}
 
 	if err := s.CompleteMicroreboot(rb); err != nil {
 		t.Fatalf("CompleteMicroreboot: %v", err)
 	}
-	c, err := s.Registry().Lookup("A")
-	if err != nil {
-		t.Fatalf("Lookup after µRB: %v", err)
-	}
-	if _, err := c.Serve(&Call{Op: "read"}); err != nil {
-		t.Fatalf("Serve after µRB: %v", err)
+	if _, err := s.Invoke(bg(), "A", &Call{Op: "read"}); err != nil {
+		t.Fatalf("Invoke after µRB: %v", err)
 	}
 	if err := s.CompleteMicroreboot(rb); err == nil {
 		t.Fatal("double complete should fail")
@@ -142,29 +136,51 @@ func TestMicrorebootLifecycle(t *testing.T) {
 	}
 }
 
-func TestMicrorebootKillsActiveCalls(t *testing.T) {
-	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
-	// Simulate an in-flight call by registering it the way Serve does:
-	// enter the container from another goroutine that blocks.
-	call := &Call{Op: "read"}
-	started := make(chan struct{})
-	release := make(chan struct{})
-	blocker := func() Component { return blockingComponent{started, release} }
-	s2 := NewServer()
-	if err := s2.Deploy(Application{Name: "t", Components: []Descriptor{{
-		Name: "Block", Factory: blocker,
+// blockingComponent blocks its Serve until released or its context is
+// cancelled, reporting what it observed.
+type blockingComponent struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b blockingComponent) Init(*Env) error { return nil }
+func (b blockingComponent) Serve(ctx context.Context, call *Call) (any, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+		return "released", nil
+	case <-ctx.Done():
+		return nil, CancelCause(ctx)
+	}
+}
+func (b blockingComponent) Stop() error { return nil }
+
+func deployBlocking(t *testing.T) (*Server, blockingComponent) {
+	t.Helper()
+	bc := blockingComponent{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := NewServer()
+	if err := s.Deploy(Application{Name: "t", Components: []Descriptor{{
+		Name: "Block", Factory: func() Component { return bc },
 	}}}); err != nil {
 		t.Fatal(err)
 	}
-	bc, _ := s2.Registry().Lookup("Block")
-	done := make(chan error)
+	return s, bc
+}
+
+// The acceptance test for the context redesign: a component blocked
+// mid-Serve observes ctx.Done() the moment a microreboot kills its
+// shepherd, with cause ErrKilled.
+func TestMicrorebootCancelsBlockedCallContext(t *testing.T) {
+	s, bc := deployBlocking(t)
+	call := &Call{Op: "read"}
+	done := make(chan error, 1)
 	go func() {
-		_, err := bc.Serve(call)
+		_, err := s.Invoke(bg(), "Block", call)
 		done <- err
 	}()
-	<-started
-	rb, err := s2.BeginMicroreboot("Block")
+	<-bc.started // wait until the component is inside Serve
+
+	rb, err := s.BeginMicroreboot("Block")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,26 +190,86 @@ func TestMicrorebootKillsActiveCalls(t *testing.T) {
 	if !call.Killed() {
 		t.Fatal("call not marked killed")
 	}
-	close(release)
-	<-done
-	_ = c
-	if err := s2.CompleteMicroreboot(rb); err != nil {
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("blocked invoke err = %v, want ErrKilled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked call did not observe context cancellation")
+	}
+	if err := s.CompleteMicroreboot(rb); err != nil {
 		t.Fatal(err)
 	}
 }
 
-type blockingComponent struct {
-	started chan struct{}
-	release chan struct{}
+// TTL enforcement is structural: the execution lease becomes a context
+// deadline, so a stuck call unblocks with cause ErrLeaseExpired.
+func TestLeaseExpiryCancelsBlockedCall(t *testing.T) {
+	s, bc := deployBlocking(t)
+	call := &Call{Op: "read", TTL: 30 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Invoke(bg(), "Block", call)
+		done <- err
+	}()
+	<-bc.started
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrLeaseExpired) {
+			t.Fatalf("err = %v, want ErrLeaseExpired", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease expiry did not cancel the call")
+	}
 }
 
-func (b blockingComponent) Init(*Env) error { return nil }
-func (b blockingComponent) Serve(*Call) (any, error) {
-	b.started <- struct{}{}
-	<-b.release
-	return nil, nil
+func TestHangParkingWaitsForKill(t *testing.T) {
+	s := deployEcho(t, "A")
+	s.SetHangParking(true)
+	s.Use(func(ctx context.Context, call *Call, next Handler) (any, error) {
+		if call.Op == "wedge" {
+			return nil, ErrHang
+		}
+		return next(ctx, call)
+	})
+	call := &Call{Op: "wedge"}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Invoke(bg(), "A", call)
+		done <- err
+	}()
+	// The call must be parked, not returned.
+	select {
+	case err := <-done:
+		t.Fatalf("hung call returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s.ActiveCalls("A") != 1 {
+		t.Fatalf("ActiveCalls = %d, want 1 parked call", s.ActiveCalls("A"))
+	}
+	if _, err := s.Microreboot("A"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("parked call err = %v, want ErrKilled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked call not released by µRB")
+	}
 }
-func (b blockingComponent) Stop() error { return nil }
+
+func TestHangParkingDisabledSurfacesErrHang(t *testing.T) {
+	s := deployEcho(t, "A")
+	s.Use(func(ctx context.Context, call *Call, next Handler) (any, error) {
+		return nil, ErrHang
+	})
+	if _, err := s.Invoke(bg(), "A", &Call{Op: "read"}); !errors.Is(err, ErrHang) {
+		t.Fatalf("err = %v, want synchronous ErrHang", err)
+	}
+}
 
 func TestRecoveryGroups(t *testing.T) {
 	s := NewServer()
@@ -312,7 +388,7 @@ func TestRegistryCorruptionAndHealing(t *testing.T) {
 		if err := s.Registry().Corrupt("A", mode); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Registry().Lookup("A"); !errors.Is(err, ErrComponentFault) {
+		if _, err := s.Invoke(bg(), "A", &Call{Op: "read"}); !errors.Is(err, ErrComponentFault) {
 			t.Fatalf("mode %s: err = %v, want ErrComponentFault", mode, err)
 		}
 		// A µRB rebinds the name, healing the corruption.
@@ -327,18 +403,18 @@ func TestRegistryCorruptionAndHealing(t *testing.T) {
 	if err := s.Registry().Corrupt("A", "wrong"); err != nil {
 		t.Fatal(err)
 	}
-	c, err := s.Registry().Lookup("A")
+	res, err := s.Invoke(bg(), "A", &Call{Op: "read"})
 	if err != nil {
-		t.Fatalf("wrong-mode lookup should succeed: %v", err)
+		t.Fatalf("wrong-mode invoke should succeed: %v", err)
 	}
-	if c.Name() != "B" {
-		t.Fatalf("wrong-mode target = %s, want B", c.Name())
+	if res != "B:read" {
+		t.Fatalf("wrong-mode result = %v, want routed to B", res)
 	}
 	if _, err := s.Microreboot("A"); err != nil {
 		t.Fatal(err)
 	}
-	c, _ = s.Registry().Lookup("A")
-	if c.Name() != "A" {
+	res, _ = s.Invoke(bg(), "A", &Call{Op: "read"})
+	if res != "A:read" {
 		t.Fatal("µRB did not heal wrong binding")
 	}
 	if err := s.Registry().Corrupt("Ghost", "null"); !errors.Is(err, ErrNotBound) {
@@ -351,20 +427,19 @@ func TestRegistryCorruptionAndHealing(t *testing.T) {
 
 func TestTxMethodMapCorruptionAndHealing(t *testing.T) {
 	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
+	c, _ := s.Container("A")
 	for _, mode := range []string{"null", "invalid"} {
 		if err := c.CorruptTxMethodMap(mode); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Serve(&Call{Op: "write"}); !errors.Is(err, ErrComponentFault) {
-			t.Fatalf("mode %s: Serve err = %v, want ErrComponentFault", mode, err)
+		if _, err := s.Invoke(bg(), "A", &Call{Op: "write"}); !errors.Is(err, ErrComponentFault) {
+			t.Fatalf("mode %s: Invoke err = %v, want ErrComponentFault", mode, err)
 		}
 		if _, err := s.Microreboot("A"); err != nil {
 			t.Fatal(err)
 		}
-		c, _ = s.Registry().Lookup("A")
-		if _, err := c.Serve(&Call{Op: "write"}); err != nil {
-			t.Fatalf("mode %s: Serve after µRB: %v", mode, err)
+		if _, err := s.Invoke(bg(), "A", &Call{Op: "write"}); err != nil {
+			t.Fatalf("mode %s: Invoke after µRB: %v", mode, err)
 		}
 	}
 	// "wrong" swaps attributes silently — calls succeed but run with the
@@ -421,7 +496,7 @@ func TestMicrorebootAbortsTransactions(t *testing.T) {
 
 func TestMicrorebootReleasesLeakedMemory(t *testing.T) {
 	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
+	c, _ := s.Container("A")
 	c.Leak(1 << 20)
 	c.Leak(1 << 20)
 	if c.LeakedBytes() != 2<<20 {
@@ -434,7 +509,7 @@ func TestMicrorebootReleasesLeakedMemory(t *testing.T) {
 	if rb.FreedBytes != 2<<20 {
 		t.Fatalf("FreedBytes = %d, want 2MiB", rb.FreedBytes)
 	}
-	c, _ = s.Registry().Lookup("A")
+	c, _ = s.Container("A")
 	if c.LeakedBytes() != 0 {
 		t.Fatal("leak survived µRB")
 	}
@@ -562,23 +637,27 @@ func TestWARCostApplied(t *testing.T) {
 
 func TestServeStoppedAndRebooting(t *testing.T) {
 	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
+	c, _ := s.Container("A")
 	rb, _ := s.BeginMicroreboot("A")
-	if _, err := c.Serve(&Call{Op: "read"}); !errors.Is(err, ErrRetryAfter) {
+	if _, err := s.Invoke(bg(), "A", &Call{Op: "read"}); !errors.Is(err, ErrRetryAfter) {
+		t.Fatalf("Invoke during µRB err = %v, want ErrRetryAfter", err)
+	}
+	// Direct container dispatch during the reboot also refuses.
+	if _, err := c.Serve(bg(), &Call{Op: "read"}); !errors.Is(err, ErrRetryAfter) {
 		t.Fatalf("Serve during µRB err = %v, want ErrRetryAfter", err)
 	}
 	_ = s.CompleteMicroreboot(rb)
 	if err := c.stop(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Serve(&Call{Op: "read"}); !errors.Is(err, ErrStopped) {
+	if _, err := c.Serve(bg(), &Call{Op: "read"}); !errors.Is(err, ErrStopped) {
 		t.Fatalf("Serve stopped err = %v, want ErrStopped", err)
 	}
 }
 
 func TestInstanceReplacement(t *testing.T) {
 	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
+	c, _ := s.Container("A")
 	if err := c.ReplaceInstance(0); err != nil {
 		t.Fatal(err)
 	}
@@ -587,29 +666,60 @@ func TestInstanceReplacement(t *testing.T) {
 	}
 }
 
-func TestFaultHookInterception(t *testing.T) {
+// TestInterceptorPipeline verifies ordering, short-circuiting, and
+// outcome observation of interceptors registered with Use.
+func TestInterceptorPipeline(t *testing.T) {
 	s := deployEcho(t, "A")
-	c, _ := s.Registry().Lookup("A")
-	boom := errors.New("boom")
-	c.SetFaultHook(func(call *Call) (bool, any, error) {
-		if call.Op == "write" {
-			return false, nil, boom
-		}
-		return true, nil, nil
+	var order []string
+	s.Use(func(ctx context.Context, call *Call, next Handler) (any, error) {
+		order = append(order, "outer-pre")
+		res, err := next(ctx, call)
+		order = append(order, "outer-post")
+		return res, err
 	})
-	if _, err := c.Serve(&Call{Op: "write"}); !errors.Is(err, boom) {
-		t.Fatalf("hooked op err = %v, want boom", err)
+	boom := errors.New("boom")
+	s.Use(func(ctx context.Context, call *Call, next Handler) (any, error) {
+		order = append(order, "inner")
+		if call.Op == "write" {
+			return nil, boom // short-circuit: the component never runs
+		}
+		return next(ctx, call)
+	})
+	if _, err := s.Invoke(bg(), "A", &Call{Op: "write"}); !errors.Is(err, boom) {
+		t.Fatalf("short-circuited op err = %v, want boom", err)
 	}
-	if _, err := c.Serve(&Call{Op: "read"}); err != nil {
-		t.Fatalf("unhooked op err = %v", err)
+	res, err := s.Invoke(bg(), "A", &Call{Op: "read"})
+	if err != nil || res != "A:read" {
+		t.Fatalf("passthrough = %v/%v", res, err)
 	}
-	_, failed, _ := c.Stats()
-	if failed != 1 {
-		t.Fatalf("failed = %d, want 1", failed)
+	want := []string{"outer-pre", "inner", "outer-post", "outer-pre", "inner", "outer-post"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
 	}
-	c.SetFaultHook(nil)
-	if _, err := c.Serve(&Call{Op: "write"}); err != nil {
-		t.Fatalf("after clearing hook: %v", err)
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Interceptors observe every hop: the path-recording built-in runs before
+// user interceptors, so Call.Component and Path are already populated.
+func TestInterceptorSeesComponentAndPath(t *testing.T) {
+	s := deployEcho(t, "A")
+	var seen []string
+	s.Use(func(ctx context.Context, call *Call, next Handler) (any, error) {
+		seen = append(seen, call.Component)
+		if len(call.Path) == 0 || call.Path[len(call.Path)-1] != call.Component {
+			t.Errorf("Path %v does not end with %s", call.Path, call.Component)
+		}
+		return next(ctx, call)
+	})
+	if _, err := s.Invoke(bg(), "A", &Call{Op: "read"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "A" {
+		t.Fatalf("seen = %v", seen)
 	}
 }
 
@@ -672,7 +782,7 @@ func TestPropertyMicrorebootAlwaysReintegrates(t *testing.T) {
 			if c.State() != StateRunning {
 				return false
 			}
-			if _, err := c.Serve(&Call{Op: "read"}); err != nil {
+			if _, err := s.Invoke(bg(), n, &Call{Op: "read"}); err != nil {
 				return false
 			}
 		}
@@ -725,9 +835,9 @@ func TestEnvResource(t *testing.T) {
 
 type initFunc func(*Env) error
 
-func (f initFunc) Init(e *Env) error        { return f(e) }
-func (f initFunc) Serve(*Call) (any, error) { return nil, nil }
-func (f initFunc) Stop() error              { return nil }
+func (f initFunc) Init(e *Env) error                         { return f(e) }
+func (f initFunc) Serve(context.Context, *Call) (any, error) { return nil, nil }
+func (f initFunc) Stop() error                               { return nil }
 
 func TestStringers(t *testing.T) {
 	for _, k := range []Kind{StatelessSession, Entity, Web, Kind(9)} {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/store/db"
@@ -85,7 +87,9 @@ type Reboot struct {
 	Reinit time.Duration
 	// FreedBytes is the leaked memory released by the crash phase.
 	FreedBytes int64
-	// KilledCalls are the in-flight calls whose shepherds were killed.
+	// KilledCalls are the in-flight requests (root calls) whose
+	// shepherds were killed, deduplicated across hops and members: one
+	// entry per killed end-user request.
 	KilledCalls []*Call
 	// AbortedTxs is how many open transactions were rolled back.
 	AbortedTxs int
@@ -101,10 +105,24 @@ func (r *Reboot) Duration() time.Duration { return r.Crash + r.Reinit }
 // subscribe to count recovery events.
 type RebootObserver func(r *Reboot)
 
+// Handler is the tail of an interceptor chain: it receives a call (and
+// its shepherd context) and produces the invocation result.
+type Handler func(ctx context.Context, call *Call) (any, error)
+
+// Interceptor wraps invocation handling. Interceptors registered with
+// Server.Use run on every hop — the initial web-tier dispatch and every
+// inter-component call — in registration order (the first registered is
+// outermost). An interceptor may short-circuit by not calling next, and
+// observes the outcome by calling it. Metrics accounting, fault
+// injection, and call-path diagnosis all plug in here rather than inside
+// containers.
+type Interceptor func(ctx context.Context, call *Call, next Handler) (any, error)
+
 // Server is the application server: it deploys applications, owns the
-// naming registry and containers, and implements the microreboot method.
-// A Server models one application-server process (one node of the paper's
-// cluster runs one Server).
+// naming registry and containers, runs the invocation pipeline, and
+// implements the microreboot method. A Server models one
+// application-server process (one node of the paper's cluster runs one
+// Server).
 type Server struct {
 	mu         sync.Mutex
 	registry   *Registry
@@ -115,6 +133,25 @@ type Server struct {
 	now        func() time.Duration
 	costs      CostModel
 	observers  []RebootObserver
+
+	// interceptors is the user-registered middleware; chain caches the
+	// composed pipeline (invalidated by Use, rebuilt lock-free on the
+	// invocation hot path).
+	interceptors []Interceptor
+	chain        atomic.Pointer[Handler]
+
+	// active tracks the in-flight calls currently shepherded through
+	// each component, so a µRB can kill them. Maintained by Invoke —
+	// the platform, not the container, owns shepherd bookkeeping.
+	// Sharded per component (component name → *callSet) so concurrent
+	// hops into different components do not contend on one lock.
+	active sync.Map
+
+	// hangPark makes Invoke park a call that reports ErrHang until its
+	// context is cancelled (kill or lease expiry). Real-time servers
+	// enable it; simulation drivers model the parking in virtual time
+	// and keep it off.
+	hangPark atomic.Bool
 
 	// txs tracks open database transactions per component so a µRB can
 	// abort exactly the transactions its components were driving.
@@ -144,6 +181,18 @@ func WithCostModel(m CostModel) Option {
 // session store, ...) made available to components through Env.
 func WithResource(key string, v any) Option {
 	return func(s *Server) { s.resources[key] = v }
+}
+
+// WithInterceptors registers invocation interceptors at construction
+// (equivalent to calling Use immediately).
+func WithInterceptors(ins ...Interceptor) Option {
+	return func(s *Server) { s.interceptors = append(s.interceptors, ins...) }
+}
+
+// WithHangParking enables context-aware parking of hung calls; see
+// Server.SetHangParking.
+func WithHangParking() Option {
+	return func(s *Server) { s.hangPark.Store(true) }
 }
 
 // NewServer builds an empty application server.
@@ -186,11 +235,173 @@ func (s *Server) DelayBeforeCrash() time.Duration {
 	return s.delayBeforeCrash
 }
 
+// SetHangParking controls what Invoke does with a call that reports
+// ErrHang (an injected deadlock or infinite loop). When enabled — the
+// right mode for servers driven by real goroutines, e.g. the HTTP front
+// end — the call parks on its context and returns only when a microreboot
+// kills it or its execution lease expires, faithfully wedging the
+// shepherd. When disabled (default), ErrHang is surfaced synchronously so
+// discrete-event drivers can model the parking in virtual time.
+func (s *Server) SetHangParking(on bool) {
+	s.hangPark.Store(on)
+}
+
 // OnReboot registers an observer called after each completed reboot.
 func (s *Server) OnReboot(o RebootObserver) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.observers = append(s.observers, o)
+}
+
+// Use appends interceptors to the server's invocation pipeline. They run
+// on every hop in registration order (first registered is outermost),
+// inside the built-in lease check and call-path recording.
+func (s *Server) Use(ins ...Interceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interceptors = append(s.interceptors, ins...)
+	s.chain.Store(nil) // force rebuild
+}
+
+// handler returns the composed invocation pipeline, rebuilding it if the
+// interceptor set changed. The cached chain is read lock-free so the
+// invocation hot path does not contend on the server mutex.
+func (s *Server) handler() Handler {
+	if h := s.chain.Load(); h != nil {
+		return *h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h := s.chain.Load(); h != nil {
+		return *h
+	}
+	var h Handler = s.dispatch
+	all := append([]Interceptor{checkLease, recordPath}, s.interceptors...)
+	for i := len(all) - 1; i >= 0; i-- {
+		in, next := all[i], h
+		h = func(ctx context.Context, call *Call) (any, error) {
+			return in(ctx, call, next)
+		}
+	}
+	s.chain.Store(&h)
+	return h
+}
+
+// checkLease is the built-in outermost interceptor: a request whose
+// shepherd is already dead (killed or lease-expired) makes no further
+// hops — the execution-lease check of the crash-only design.
+func checkLease(ctx context.Context, call *Call, next Handler) (any, error) {
+	if ctx.Err() != nil {
+		return nil, CancelCause(ctx)
+	}
+	return next(ctx, call)
+}
+
+// recordPath is the built-in call-path interceptor: it records the
+// component traversal that failure diagnosis and µRB kill-matching use.
+func recordPath(ctx context.Context, call *Call, next Handler) (any, error) {
+	call.Via(call.Component)
+	return next(ctx, call)
+}
+
+// dispatch is the terminal handler: resolve the component through the
+// naming service (sentinels and corrupted entries surface here) and hand
+// the call to its container.
+func (s *Server) dispatch(ctx context.Context, call *Call) (any, error) {
+	c, err := s.registry.Lookup(call.Component)
+	if err != nil {
+		return nil, err
+	}
+	return c.Serve(ctx, call)
+}
+
+// Invoke runs one call against the named component through the
+// interceptor pipeline. For the root hop of a request it binds the
+// shepherd context: the call's TTL becomes a deadline (cause
+// ErrLeaseExpired) and a microreboot kill becomes a cancellation (cause
+// ErrKilled). Sub-invocations made by components pass the context their
+// Serve received, so cancellation reaches every hop of the request.
+func (s *Server) Invoke(ctx context.Context, component string, call *Call) (any, error) {
+	if call == nil {
+		return nil, errors.New("core: nil call")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	call.Component = component
+	ctx, release := call.bindContext(ctx)
+	if release != nil {
+		defer release()
+	}
+
+	s.trackCall(component, call)
+	defer s.untrackCall(component, call)
+
+	res, err := s.handler()(ctx, call)
+	if err != nil && errors.Is(err, ErrHang) && s.hangParking() {
+		// Context-aware parking: the shepherd stays wedged until a µRB
+		// kills it or the execution lease expires.
+		<-ctx.Done()
+		return nil, CancelCause(ctx)
+	}
+	return res, err
+}
+
+func (s *Server) hangParking() bool { return s.hangPark.Load() }
+
+// callSet is one component's shard of the active-call table.
+type callSet struct {
+	mu    sync.Mutex
+	calls map[*Call]struct{}
+}
+
+func (s *Server) callShard(component string) *callSet {
+	if v, ok := s.active.Load(component); ok {
+		return v.(*callSet)
+	}
+	v, _ := s.active.LoadOrStore(component, &callSet{calls: map[*Call]struct{}{}})
+	return v.(*callSet)
+}
+
+// trackCall registers an in-flight call as shepherded through component.
+func (s *Server) trackCall(component string, call *Call) {
+	cs := s.callShard(component)
+	cs.mu.Lock()
+	cs.calls[call] = struct{}{}
+	cs.mu.Unlock()
+}
+
+func (s *Server) untrackCall(component string, call *Call) {
+	cs := s.callShard(component)
+	cs.mu.Lock()
+	delete(cs.calls, call)
+	cs.mu.Unlock()
+}
+
+// ActiveCalls reports how many calls are currently shepherded through the
+// named component.
+func (s *Server) ActiveCalls(component string) int {
+	cs := s.callShard(component)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.calls)
+}
+
+// killActive kills every call currently shepherded through component and
+// returns them. The kill cancels each request's root context, so blocked
+// or parked calls observe ctx.Done() immediately.
+func (s *Server) killActive(component string) []*Call {
+	cs := s.callShard(component)
+	cs.mu.Lock()
+	victims := make([]*Call, 0, len(cs.calls))
+	for call := range cs.calls {
+		victims = append(victims, call)
+	}
+	cs.mu.Unlock()
+	for _, call := range victims {
+		call.Kill()
+	}
+	return victims
 }
 
 // Deploy installs an application: it creates one container per component,
@@ -413,8 +624,9 @@ func (s *Server) BindSentinels(names ...string) ([]string, error) {
 
 // BeginMicroreboot starts the crash phase of a microreboot of the named
 // components (expanded to their recovery groups): sentinels are bound,
-// instances destroyed, shepherded calls killed, open transactions aborted,
-// leaked resources released, and per-component metadata discarded.
+// instances destroyed, shepherded calls killed (their root contexts
+// cancelled with cause ErrKilled), open transactions aborted, leaked
+// resources released, and per-component metadata discarded.
 //
 // The returned Reboot carries the modeled phase durations; the caller
 // waits out Duration() (really or in virtual time) and then calls
@@ -489,9 +701,22 @@ func (s *Server) beginScoped(scope Scope, names ...string) (*Reboot, error) {
 		s.registry.bindSentinelFor(c.Name(), estimate)
 	}
 	for _, c := range containers {
-		killed, freed := c.crash()
-		rb.KilledCalls = append(rb.KilledCalls, killed...)
-		rb.FreedBytes += freed
+		rb.FreedBytes += c.crash()
+	}
+	// Kill the shepherds of every call in flight through a member:
+	// cancelling the root contexts propagates to children the way one
+	// Java thread shepherds the whole request. A request traversing
+	// several members is tracked once per hop; report it once.
+	killedRoots := map[*Call]struct{}{}
+	for _, m := range members {
+		for _, call := range s.killActive(m) {
+			root := call.Root()
+			if _, dup := killedRoots[root]; dup {
+				continue
+			}
+			killedRoots[root] = struct{}{}
+			rb.KilledCalls = append(rb.KilledCalls, root)
+		}
 	}
 	for _, tx := range victims {
 		if !tx.Done() {

@@ -13,6 +13,7 @@
 package detect
 
 import (
+	"context"
 	"regexp"
 	"strings"
 
@@ -97,7 +98,7 @@ func normalize(body string) string {
 // Check replays the call on the known-good instance and compares.
 func (c *Comparison) Check(call *core.Call, resp workload.Response) Verdict {
 	replay := &core.Call{Op: call.Op, SessionID: call.SessionID, Args: call.Args}
-	goodBody, goodErr := c.Good.Execute(replay)
+	goodBody, goodErr := c.Good.Execute(context.Background(), replay)
 	if (goodErr == nil) != (resp.Err == nil) {
 		return Verdict{Faulty: true, Type: Discrepancy,
 			Detail: "error status differs from known-good instance"}

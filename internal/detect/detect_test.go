@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestComparisonDetectsWrongData(t *testing.T) {
 	call := &core.Call{Op: ebid.ViewItem, Args: map[string]any{"item": int64(3)}}
 
 	// Matching response: clean verdict.
-	body, err := good.Execute(&core.Call{Op: ebid.ViewItem, Args: call.Args})
+	body, err := good.Execute(context.Background(), &core.Call{Op: ebid.ViewItem, Args: call.Args})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestComparisonToleratesTimingNondeterminism(t *testing.T) {
 	good := newGoodApp(t)
 	cmp := &Comparison{Good: good}
 	call := &core.Call{Op: ebid.ViewItem, Args: map[string]any{"item": int64(3)}}
-	body, _ := good.Execute(&core.Call{Op: ebid.ViewItem, Args: call.Args})
+	body, _ := good.Execute(context.Background(), &core.Call{Op: ebid.ViewItem, Args: call.Args})
 	// Perturb only a dollar amount (timing-dependent field): the
 	// normalizer masks decimal amounts before comparing.
 	perturbed := workload.Response{Body: replaceFirstAmount(body)}

@@ -1,10 +1,12 @@
 package ebid
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/store/db"
 	"repro/internal/store/session"
 )
@@ -47,7 +49,7 @@ func (w *war) Init(env *core.Env) error {
 func (w *war) Stop() error { return nil }
 
 // Serve implements core.Component: the servlet dispatch.
-func (w *war) Serve(call *core.Call) (any, error) {
+func (w *war) Serve(ctx context.Context, call *core.Call) (any, error) {
 	if page, ok := w.static[call.Op]; ok {
 		return page, nil
 	}
@@ -63,12 +65,10 @@ func (w *war) Serve(call *core.Call) (any, error) {
 		}
 		return "<html>logged out</html>", nil
 	}
-	// Dynamic operations route to the session component of the same name.
-	c, err := w.env.Registry.Lookup(call.Op)
-	if err != nil {
-		return nil, err
-	}
-	return c.Serve(call.Child(call.Op, call.Args))
+	// Dynamic operations route to the session component of the same
+	// name; the sub-invocation goes through the server's interceptor
+	// pipeline and inherits this request's shepherd context.
+	return w.env.Server.Invoke(ctx, call.Op, call.Child(call.Op, call.Args))
 }
 
 // App bundles a deployed eBid application with its resources.
@@ -76,11 +76,15 @@ type App struct {
 	Server   *core.Server
 	DB       *db.DB
 	Sessions session.Store
-	warName  string
+	// Stats is the per-component latency/outcome accounting, collected
+	// by an interceptor registered on the server.
+	Stats   *metrics.InvocationStats
+	warName string
 }
 
 // New builds a core.Server, deploys eBid on it, and returns the App.
-// The clock argument supplies virtual time (may be nil).
+// The clock argument supplies virtual time (may be nil for wall-clock).
+// Invocation metrics run as an interceptor registered on the server.
 func New(d *db.DB, sessions session.Store, clock func() time.Duration) (*App, error) {
 	opts := []core.Option{
 		core.WithResource(ResourceDB, d),
@@ -91,7 +95,9 @@ func New(d *db.DB, sessions session.Store, clock func() time.Duration) (*App, er
 		opts = append(opts, core.WithClock(clock))
 	}
 	srv := core.NewServer(opts...)
-	app := &App{Server: srv, DB: d, Sessions: sessions, warName: WAR}
+	stats := metrics.NewInvocationStats(clock)
+	srv.Use(stats.Interceptor())
+	app := &App{Server: srv, DB: d, Sessions: sessions, Stats: stats, warName: WAR}
 	if err := srv.Deploy(Assemble()); err != nil {
 		return nil, err
 	}
@@ -117,13 +123,11 @@ func Assemble() core.Application {
 }
 
 // Execute runs one end-user operation through the WAR, returning the
-// response body.
-func (a *App) Execute(call *core.Call) (string, error) {
-	c, err := a.Server.Registry().Lookup(a.warName)
-	if err != nil {
-		return "", err
-	}
-	res, err := c.Serve(call)
+// response body. The context is the request's shepherd: pass the HTTP
+// request context from real front ends (cancellation propagates into the
+// components) or context.Background() from simulation drivers.
+func (a *App) Execute(ctx context.Context, call *core.Call) (string, error) {
+	res, err := a.Server.Invoke(ctx, a.warName, call)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package ebid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -34,7 +35,7 @@ func newApp(t *testing.T) (*App, *session.FastS) {
 
 func exec(t *testing.T, app *App, sessID, op string, args map[string]any) string {
 	t.Helper()
-	body, err := app.Execute(&core.Call{Op: op, SessionID: sessID, Args: args})
+	body, err := app.Execute(context.Background(), &core.Call{Op: op, SessionID: sessID, Args: args})
 	if err != nil {
 		t.Fatalf("Execute(%s): %v", op, err)
 	}
@@ -126,7 +127,7 @@ func TestLoginLogout(t *testing.T) {
 		t.Fatalf("sessions after logout = %d, want 0", fs.Len())
 	}
 	// Session ops now fail with the not-logged-in symptom.
-	_, err := app.Execute(&core.Call{Op: AboutMe, SessionID: "s1"})
+	_, err := app.Execute(context.Background(), &core.Call{Op: AboutMe, SessionID: "s1"})
 	if err == nil || !errors.Is(err, errNotLoggedIn) {
 		t.Fatalf("AboutMe after logout err = %v, want errNotLoggedIn", err)
 	}
@@ -160,7 +161,7 @@ func TestBidFlow(t *testing.T) {
 func TestCommitBidWithoutSelection(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s1", 3)
-	_, err := app.Execute(&core.Call{Op: CommitBid, SessionID: "s1", Args: map[string]any{"amount": 5.0}})
+	_, err := app.Execute(context.Background(), &core.Call{Op: CommitBid, SessionID: "s1", Args: map[string]any{"amount": 5.0}})
 	if err == nil {
 		t.Fatal("CommitBid without MakeBid should fail")
 	}
@@ -232,7 +233,7 @@ func TestCallsDuringMicrorebootGetRetryAfter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = app.Execute(&core.Call{Op: ViewItem, Args: map[string]any{"item": int64(1)}})
+	_, err = app.Execute(context.Background(), &core.Call{Op: ViewItem, Args: map[string]any{"item": int64(1)}})
 	var ra *core.RetryAfterError
 	if !errors.As(err, &ra) {
 		t.Fatalf("err = %v, want RetryAfterError", err)
@@ -289,7 +290,7 @@ func TestFastSLossBreaksSessionsSSMDoesNot(t *testing.T) {
 	app, fs := newApp(t)
 	login(t, app, "s1", 3)
 	fs.LoseAll() // the process-restart effect
-	if _, err := app.Execute(&core.Call{Op: AboutMe, SessionID: "s1"}); !errors.Is(err, errNotLoggedIn) {
+	if _, err := app.Execute(context.Background(), &core.Call{Op: AboutMe, SessionID: "s1"}); !errors.Is(err, errNotLoggedIn) {
 		t.Fatalf("err = %v, want errNotLoggedIn", err)
 	}
 
@@ -303,11 +304,11 @@ func TestFastSLossBreaksSessionsSSMDoesNot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := app2.Execute(&core.Call{Op: Authenticate, SessionID: "s1", Args: map[string]any{"user": int64(3)}}); err != nil {
+	if _, err := app2.Execute(context.Background(), &core.Call{Op: Authenticate, SessionID: "s1", Args: map[string]any{"user": int64(3)}}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate process restart: SSM keeps its state (it is off-node).
-	if _, err := app2.Execute(&core.Call{Op: AboutMe, SessionID: "s1"}); err != nil {
+	if _, err := app2.Execute(context.Background(), &core.Call{Op: AboutMe, SessionID: "s1"}); err != nil {
 		t.Fatalf("AboutMe with SSM after restart: %v", err)
 	}
 }
@@ -333,7 +334,7 @@ func TestCallPathTracing(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s1", 3)
 	call := &core.Call{Op: AboutMe, SessionID: "s1"}
-	if _, err := app.Execute(call); err != nil {
+	if _, err := app.Execute(context.Background(), call); err != nil {
 		t.Fatal(err)
 	}
 	// Path must include WAR, the session component, and the entities.
@@ -434,13 +435,10 @@ func TestDatasetScale(t *testing.T) {
 
 func TestIdentityManagerSequential(t *testing.T) {
 	app, _ := newApp(t)
-	c, err := app.Server.Registry().Lookup(IdentityManager)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var prev int64
 	for i := 0; i < 5; i++ {
-		res, err := c.Serve(&core.Call{Op: "next", Args: map[string]any{"kind": "bid"}})
+		res, err := app.Server.Invoke(context.Background(), IdentityManager,
+			&core.Call{Op: "next", Args: map[string]any{"kind": "bid"}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -454,8 +452,8 @@ func TestIdentityManagerSequential(t *testing.T) {
 	if _, err := app.Server.Microreboot(IdentityManager); err != nil {
 		t.Fatal(err)
 	}
-	c, _ = app.Server.Registry().Lookup(IdentityManager)
-	res, err := c.Serve(&core.Call{Op: "next", Args: map[string]any{"kind": "bid"}})
+	res, err := app.Server.Invoke(context.Background(), IdentityManager,
+		&core.Call{Op: "next", Args: map[string]any{"kind": "bid"}})
 	if err != nil {
 		t.Fatal(err)
 	}

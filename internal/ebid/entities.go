@@ -1,6 +1,7 @@
 package ebid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -79,7 +80,7 @@ func (e *entity) tx(call *core.Call) (tx *db.Tx, done func(err error) error, err
 }
 
 // Serve implements core.Component: the entity sub-operations.
-func (e *entity) Serve(call *core.Call) (any, error) {
+func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
 	tx, done, err := e.tx(call)
 	if err != nil {
 		return nil, err
@@ -184,7 +185,7 @@ func (m *idManager) Stop() error { return nil }
 
 // Serve implements core.Component: op "next" allocates the next id for a
 // kind, transactionally.
-func (m *idManager) Serve(call *core.Call) (any, error) {
+func (m *idManager) Serve(ctx context.Context, call *core.Call) (any, error) {
 	if call.Op != opNextID {
 		return nil, fmt.Errorf("ebid: IdentityManager: unknown op %q", call.Op)
 	}

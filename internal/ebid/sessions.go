@@ -1,6 +1,7 @@
 package ebid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,14 +10,12 @@ import (
 	"repro/internal/store/session"
 )
 
-// invokeEntity performs an inter-component call through the naming
-// service, deriving a child call so the whole request shares one shepherd.
-func invokeEntity(env *core.Env, call *core.Call, entityName, op string, args map[string]any) (any, error) {
-	c, err := env.Registry.Lookup(entityName)
-	if err != nil {
-		return nil, err
-	}
-	return c.Serve(call.Child(op, args))
+// invokeEntity performs an inter-component call through the server's
+// invocation pipeline, deriving a child call so the whole request shares
+// one shepherd: the entity hop inherits this request's context, and a
+// kill or lease expiry cancels every hop at once.
+func invokeEntity(ctx context.Context, env *core.Env, call *core.Call, entityName, op string, args map[string]any) (any, error) {
+	return env.Server.Invoke(ctx, entityName, call.Child(op, args))
 }
 
 // sessionStore fetches the session store resource.
@@ -54,14 +53,14 @@ func loadSession(env *core.Env, call *core.Call) (*session.Session, session.Stor
 // session component: its Serve delegates to the op function.
 type sessionComponent struct {
 	name string
-	op   func(env *core.Env, call *core.Call) (any, error)
+	op   func(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 	env  *core.Env
 }
 
 func (s *sessionComponent) Init(env *core.Env) error { s.env = env; return nil }
 func (s *sessionComponent) Stop() error              { return nil }
-func (s *sessionComponent) Serve(call *core.Call) (any, error) {
-	return s.op(s.env, call)
+func (s *sessionComponent) Serve(ctx context.Context, call *core.Call) (any, error) {
+	return s.op(ctx, s.env, call)
 }
 
 // beginTx starts a transaction on behalf of the named component and
@@ -97,12 +96,12 @@ func beginTx(env *core.Env, name string) (*db.Tx, func(err error) error, error) 
 // Each op* function below implements one Table 3 stateless session
 // component.
 
-func opAuthenticate(env *core.Env, call *core.Call) (any, error) {
+func opAuthenticate(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	userID, ok := core.Arg[int64](call, "user")
 	if !ok || userID <= 0 {
 		return nil, errors.New("ebid: Authenticate: bad user id")
 	}
-	res, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": userID})
+	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": userID})
 	if err != nil {
 		return nil, fmt.Errorf("ebid: Authenticate: %w", err)
 	}
@@ -123,20 +122,20 @@ func opAuthenticate(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>welcome %s (user %d)</html>", row["nickname"], userID), nil
 }
 
-func opAboutMe(env *core.Env, call *core.Call) (any, error) {
+func opAboutMe(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, _, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
 	}
-	userRes, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": sess.UserID})
+	userRes, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": sess.UserID})
 	if err != nil {
 		return nil, err
 	}
-	bids, err := invokeEntity(env, call, EntBid, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
+	bids, err := invokeEntity(ctx, env, call, EntBid, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
 	if err != nil {
 		return nil, err
 	}
-	buys, err := invokeEntity(env, call, BuyNow, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
+	buys, err := invokeEntity(ctx, env, call, BuyNow, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
 	if err != nil {
 		return nil, err
 	}
@@ -145,28 +144,28 @@ func opAboutMe(env *core.Env, call *core.Call) (any, error) {
 		sess.UserID, row["nickname"], len(bids.([]int64)), len(buys.([]int64))), nil
 }
 
-func opBrowseCategories(env *core.Env, call *core.Call) (any, error) {
-	res, err := invokeEntity(env, call, EntCategory, opList, map[string]any{"limit": 20})
+func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
+	res, err := invokeEntity(ctx, env, call, EntCategory, opList, map[string]any{"limit": 20})
 	if err != nil {
 		return nil, err
 	}
 	return fmt.Sprintf("<html>%d categories</html>", len(res.([]db.Row))), nil
 }
 
-func opBrowseRegions(env *core.Env, call *core.Call) (any, error) {
-	res, err := invokeEntity(env, call, EntRegion, opList, map[string]any{"limit": 62})
+func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
+	res, err := invokeEntity(ctx, env, call, EntRegion, opList, map[string]any{"limit": 62})
 	if err != nil {
 		return nil, err
 	}
 	return fmt.Sprintf("<html>%d regions</html>", len(res.([]db.Row))), nil
 }
 
-func searchItems(env *core.Env, call *core.Call, col string, argKey string) (any, error) {
+func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string, argKey string) (any, error) {
 	val, ok := core.Arg[int64](call, argKey)
 	if !ok || val <= 0 {
 		val = 1
 	}
-	keys, err := invokeEntity(env, call, EntItem, opByIndex, map[string]any{"col": col, "val": val})
+	keys, err := invokeEntity(ctx, env, call, EntItem, opByIndex, map[string]any{"col": col, "val": val})
 	if err != nil {
 		return nil, err
 	}
@@ -177,30 +176,30 @@ func searchItems(env *core.Env, call *core.Call, col string, argKey string) (any
 	}
 	// Load the first page of results.
 	for _, id := range ids[:shown] {
-		if _, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": id}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": id}); err != nil {
 			return nil, err
 		}
 	}
 	return fmt.Sprintf("<html>search %s=%d: %d items</html>", col, val, len(ids)), nil
 }
 
-func opSearchItemsByCategory(env *core.Env, call *core.Call) (any, error) {
-	return searchItems(env, call, "category", "category")
+func opSearchItemsByCategory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
+	return searchItems(ctx, env, call, "category", "category")
 }
 
-func opSearchItemsByRegion(env *core.Env, call *core.Call) (any, error) {
-	return searchItems(env, call, "region", "region")
+func opSearchItemsByRegion(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
+	return searchItems(ctx, env, call, "region", "region")
 }
 
-func opViewItem(env *core.Env, call *core.Call) (any, error) {
+func opViewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	itemID, ok := core.Arg[int64](call, "item")
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	res, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID})
+	res, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID})
 	if err != nil {
 		// Ended auctions move to OldItem.
-		old, oldErr := invokeEntity(env, call, OldItem, opLoad, map[string]any{"key": itemID})
+		old, oldErr := invokeEntity(ctx, env, call, OldItem, opLoad, map[string]any{"key": itemID})
 		if oldErr != nil {
 			return nil, err
 		}
@@ -212,16 +211,16 @@ func opViewItem(env *core.Env, call *core.Call) (any, error) {
 		itemID, row["name"], row["max_bid"], row["nb_bids"]), nil
 }
 
-func opViewUserInfo(env *core.Env, call *core.Call) (any, error) {
+func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	userID, ok := core.Arg[int64](call, "user")
 	if !ok || userID <= 0 {
 		userID = 1
 	}
-	res, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": userID})
+	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": userID})
 	if err != nil {
 		return nil, err
 	}
-	fb, err := invokeEntity(env, call, UserFeedback, opByIndex, map[string]any{"col": "to_user", "val": userID})
+	fb, err := invokeEntity(ctx, env, call, UserFeedback, opByIndex, map[string]any{"col": "to_user", "val": userID})
 	if err != nil {
 		return nil, err
 	}
@@ -230,19 +229,19 @@ func opViewUserInfo(env *core.Env, call *core.Call) (any, error) {
 		userID, row["nickname"], row["rating"], len(fb.([]int64))), nil
 }
 
-func opViewBidHistory(env *core.Env, call *core.Call) (any, error) {
+func opViewBidHistory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	itemID, ok := core.Arg[int64](call, "item")
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	keys, err := invokeEntity(env, call, EntBid, opByIndex, map[string]any{"col": "item", "val": itemID})
+	keys, err := invokeEntity(ctx, env, call, EntBid, opByIndex, map[string]any{"col": "item", "val": itemID})
 	if err != nil {
 		return nil, err
 	}
 	return fmt.Sprintf("<html>item %d bid history: %d bids</html>", itemID, len(keys.([]int64))), nil
 }
 
-func opMakeBid(env *core.Env, call *core.Call) (any, error) {
+func opMakeBid(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, store, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -251,7 +250,7 @@ func opMakeBid(env *core.Env, call *core.Call) (any, error) {
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	if _, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
+	if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
 		return nil, err
 	}
 	sess.Items = append(sess.Items, itemID)
@@ -262,7 +261,7 @@ func opMakeBid(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>bid form for item %d</html>", itemID), nil
 }
 
-func opCommitBid(env *core.Env, call *core.Call) (any, error) {
+func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, store, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -280,7 +279,7 @@ func opCommitBid(env *core.Env, call *core.Call) (any, error) {
 		return nil, err
 	}
 	err = func() error {
-		bidID, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "bid", "tx": tx})
+		bidID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "bid", "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -289,10 +288,10 @@ func opCommitBid(env *core.Env, call *core.Call) (any, error) {
 			return fmt.Errorf("ebid: CommitBid: bad primary key %v", bidID)
 		}
 		row := db.Row{"user": sess.UserID, "item": itemID, "amount": amount}
-		if _, err := invokeEntity(env, call, EntBid, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, EntBid, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
 			return err
 		}
-		itemRes, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
+		itemRes, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -301,7 +300,7 @@ func opCommitBid(env *core.Env, call *core.Call) (any, error) {
 			item["max_bid"] = amount
 		}
 		item["nb_bids"] = item["nb_bids"].(int64) + 1
-		_, err = invokeEntity(env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -313,7 +312,7 @@ func opCommitBid(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>bid committed on item %d for %.2f</html>", itemID, amount), nil
 }
 
-func opDoBuyNow(env *core.Env, call *core.Call) (any, error) {
+func opDoBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, store, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -322,7 +321,7 @@ func opDoBuyNow(env *core.Env, call *core.Call) (any, error) {
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	if _, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
+	if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
 		return nil, err
 	}
 	sess.Items = append(sess.Items, itemID)
@@ -333,7 +332,7 @@ func opDoBuyNow(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>buy-now form for item %d</html>", itemID), nil
 }
 
-func opCommitBuyNow(env *core.Env, call *core.Call) (any, error) {
+func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, store, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -347,7 +346,7 @@ func opCommitBuyNow(env *core.Env, call *core.Call) (any, error) {
 		return nil, err
 	}
 	err = func() error {
-		buyID, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "buy", "tx": tx})
+		buyID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "buy", "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -356,10 +355,10 @@ func opCommitBuyNow(env *core.Env, call *core.Call) (any, error) {
 			return fmt.Errorf("ebid: CommitBuyNow: bad primary key %v", buyID)
 		}
 		row := db.Row{"user": sess.UserID, "item": itemID, "quantity": int64(1)}
-		if _, err := invokeEntity(env, call, BuyNow, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, BuyNow, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
 			return err
 		}
-		itemRes, err := invokeEntity(env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
+		itemRes, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -367,7 +366,7 @@ func opCommitBuyNow(env *core.Env, call *core.Call) (any, error) {
 		if q := item["quantity"].(int64); q > 0 {
 			item["quantity"] = q - 1
 		}
-		_, err = invokeEntity(env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -379,7 +378,7 @@ func opCommitBuyNow(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>purchase committed for item %d</html>", itemID), nil
 }
 
-func opLeaveUserFeedback(env *core.Env, call *core.Call) (any, error) {
+func opLeaveUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, store, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -388,7 +387,7 @@ func opLeaveUserFeedback(env *core.Env, call *core.Call) (any, error) {
 	if !ok || target <= 0 {
 		target = 1
 	}
-	if _, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": target}); err != nil {
+	if _, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": target}); err != nil {
 		return nil, err
 	}
 	sess.Data["fbTarget"] = fmt.Sprint(target)
@@ -398,7 +397,7 @@ func opLeaveUserFeedback(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>feedback form for user %d</html>", target), nil
 }
 
-func opCommitUserFeedback(env *core.Env, call *core.Call) (any, error) {
+func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, store, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -420,7 +419,7 @@ func opCommitUserFeedback(env *core.Env, call *core.Call) (any, error) {
 		return nil, err
 	}
 	err = func() error {
-		fbID, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "fb", "tx": tx})
+		fbID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "fb", "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -429,16 +428,16 @@ func opCommitUserFeedback(env *core.Env, call *core.Call) (any, error) {
 			return fmt.Errorf("ebid: CommitUserFeedback: bad primary key %v", fbID)
 		}
 		row := db.Row{"from_user": sess.UserID, "to_user": target, "rating": rating, "comment": "ok"}
-		if _, err := invokeEntity(env, call, UserFeedback, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, UserFeedback, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
 			return err
 		}
-		userRes, err := invokeEntity(env, call, EntUser, opLoad, map[string]any{"key": target, "tx": tx})
+		userRes, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": target, "tx": tx})
 		if err != nil {
 			return err
 		}
 		user := userRes.(db.Row)
 		user["rating"] = user["rating"].(int64) + rating
-		_, err = invokeEntity(env, call, EntUser, opUpdate, map[string]any{"key": target, "row": user, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntUser, opUpdate, map[string]any{"key": target, "row": user, "tx": tx})
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -449,7 +448,7 @@ func opCommitUserFeedback(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>feedback committed for user %d</html>", target), nil
 }
 
-func opRegisterNewUser(env *core.Env, call *core.Call) (any, error) {
+func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	region, ok := core.Arg[int64](call, "region")
 	if !ok || region <= 0 {
 		region = 1
@@ -460,7 +459,7 @@ func opRegisterNewUser(env *core.Env, call *core.Call) (any, error) {
 	}
 	var newID int64
 	err = func() error {
-		idRes, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "user", "tx": tx})
+		idRes, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "user", "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -475,7 +474,7 @@ func opRegisterNewUser(env *core.Env, call *core.Call) (any, error) {
 			"region":   region,
 			"balance":  float64(100),
 		}
-		_, err = invokeEntity(env, call, EntUser, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntUser, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -498,7 +497,7 @@ func opRegisterNewUser(env *core.Env, call *core.Call) (any, error) {
 	return fmt.Sprintf("<html>registered user %d</html>", newID), nil
 }
 
-func opRegisterNewItem(env *core.Env, call *core.Call) (any, error) {
+func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	sess, _, err := loadSession(env, call)
 	if err != nil {
 		return nil, err
@@ -513,7 +512,7 @@ func opRegisterNewItem(env *core.Env, call *core.Call) (any, error) {
 	}
 	var newID int64
 	err = func() error {
-		idRes, err := invokeEntity(env, call, IdentityManager, opNextID, map[string]any{"kind": "item", "tx": tx})
+		idRes, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "item", "tx": tx})
 		if err != nil {
 			return err
 		}
@@ -532,7 +531,7 @@ func opRegisterNewItem(env *core.Env, call *core.Call) (any, error) {
 			"nb_bids":  int64(0),
 			"quantity": int64(1),
 		}
-		_, err = invokeEntity(env, call, EntItem, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntItem, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -544,7 +543,7 @@ func opRegisterNewItem(env *core.Env, call *core.Call) (any, error) {
 // sessionDescriptors returns the deployment descriptors for the 17
 // stateless session components.
 func sessionDescriptors() []core.Descriptor {
-	ops := map[string]func(*core.Env, *core.Call) (any, error){
+	ops := map[string]func(context.Context, *core.Env, *core.Call) (any, error){
 		AboutMe:               opAboutMe,
 		Authenticate:          opAuthenticate,
 		BrowseCategories:      opBrowseCategories,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -175,12 +176,12 @@ func runTable2Case(o Options, tc table2Case) Table2Row {
 
 	// Establish the probe session when needed.
 	if tc.probeSession {
-		if _, err := app.Execute(&core.Call{Op: ebid.Authenticate, SessionID: "probe",
+		if _, err := app.Execute(context.Background(), &core.Call{Op: ebid.Authenticate, SessionID: "probe",
 			Args: map[string]any{"user": int64(2)}}); err != nil {
 			panic("experiments: probe login: " + err.Error())
 		}
 		if tc.probeOp == ebid.CommitBid || tc.probeOp == ebid.MakeBid {
-			if _, err := app.Execute(&core.Call{Op: ebid.MakeBid, SessionID: "probe",
+			if _, err := app.Execute(context.Background(), &core.Call{Op: ebid.MakeBid, SessionID: "probe",
 				Args: map[string]any{"item": int64(1)}}); err != nil {
 				panic("experiments: probe MakeBid: " + err.Error())
 			}
@@ -214,7 +215,7 @@ func runTable2Case(o Options, tc table2Case) Table2Row {
 func driveRecursiveRecovery(e *env, f *faults.ActiveFault, tc table2Case) string {
 	app := e.node.App()
 	exec := func(op, sess string, args map[string]any) error {
-		_, err := app.Execute(&core.Call{Op: op, SessionID: sess, Args: args})
+		_, err := app.Execute(context.Background(), &core.Call{Op: op, SessionID: sess, Args: args})
 		return err
 	}
 	errStill := fmt.Errorf("fault symptoms persist")

@@ -13,6 +13,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,14 @@ import (
 	"repro/internal/store/db"
 	"repro/internal/store/session"
 )
+
+// Hook intercepts calls into a component, letting the fault injector
+// simulate the Table 2 failure modes. A non-nil returned error is
+// surfaced as the call's outcome; returning (true, nil, nil) lets the
+// call proceed normally. Hooks run inside the server's interceptor
+// pipeline — the Injector registers one Interceptor on the core.Server
+// and dispatches to the hook installed for the target component.
+type Hook func(ctx context.Context, call *core.Call) (proceed bool, result any, err error)
 
 // Kind enumerates the injected fault types of Table 2.
 type Kind int
@@ -240,7 +249,10 @@ func (f *ActiveFault) observeReboot(rb *core.Reboot) {
 	}
 }
 
-// Injector installs faults into one node's application.
+// Injector installs faults into one node's application. Hook-based
+// faults run as an Interceptor registered on the core.Server: the
+// injector keeps one hook per target component and dispatches from the
+// invocation pipeline, so containers carry no fault-injection plumbing.
 type Injector struct {
 	server *core.Server
 	db     *db.DB
@@ -248,6 +260,7 @@ type Injector struct {
 
 	mu     sync.Mutex
 	active []*ActiveFault
+	hooks  map[string]Hook
 	// extraJVMLeakBytes models leaked memory outside the application
 	// (and, for the extra-JVM flavor, outside the process).
 	intraJVMLeak int64
@@ -255,9 +268,11 @@ type Injector struct {
 }
 
 // NewInjector builds an injector for the application hosted on server.
-// The injector subscribes to reboot notifications to apply cures.
+// It registers the fault-dispatch interceptor on the server's invocation
+// pipeline and subscribes to reboot notifications to apply cures.
 func NewInjector(server *core.Server, d *db.DB, store session.Store) *Injector {
-	inj := &Injector{server: server, db: d, store: store}
+	inj := &Injector{server: server, db: d, store: store, hooks: map[string]Hook{}}
+	server.Use(inj.interceptor)
 	server.OnReboot(func(rb *core.Reboot) {
 		inj.mu.Lock()
 		faults := append([]*ActiveFault(nil), inj.active...)
@@ -273,6 +288,33 @@ func NewInjector(server *core.Server, d *db.DB, store session.Store) *Injector {
 		}
 	})
 	return inj
+}
+
+// interceptor is the fault-dispatch middleware registered on the server:
+// when a hook is installed for the call's target component it runs before
+// the component does, reproducing the paper's interposition point.
+func (inj *Injector) interceptor(ctx context.Context, call *core.Call, next core.Handler) (any, error) {
+	inj.mu.Lock()
+	h := inj.hooks[call.Component]
+	inj.mu.Unlock()
+	if h != nil {
+		proceed, res, err := h(ctx, call)
+		if !proceed {
+			return res, err
+		}
+	}
+	return next(ctx, call)
+}
+
+// setHook installs (or, with nil, clears) the fault hook for a component.
+func (inj *Injector) setHook(component string, h Hook) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if h == nil {
+		delete(inj.hooks, component)
+		return
+	}
+	inj.hooks[component] = h
 }
 
 // ActiveFaults returns the live faults.

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func call(op string, sess string, args map[string]any) *core.Call {
 
 func login(t *testing.T, app *ebid.App, sess string, user int64) {
 	t.Helper()
-	if _, err := app.Execute(call(ebid.Authenticate, sess, map[string]any{"user": user})); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.Authenticate, sess, map[string]any{"user": user})); err != nil {
 		t.Fatalf("login: %v", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestDeadlockHangsAndMicrorebootCures(t *testing.T) {
 		t.Fatal(err)
 	}
 	login(t, app, "s", 2)
-	_, err = app.Execute(call(ebid.MakeBid, "s", map[string]any{"item": int64(1)}))
+	_, err = app.Execute(context.Background(), call(ebid.MakeBid, "s", map[string]any{"item": int64(1)}))
 	if !errors.Is(err, core.ErrHang) {
 		t.Fatalf("err = %v, want ErrHang", err)
 	}
@@ -66,7 +67,7 @@ func TestDeadlockHangsAndMicrorebootCures(t *testing.T) {
 	if f.Active() {
 		t.Fatal("fault still active after covering µRB")
 	}
-	if _, err := app.Execute(call(ebid.MakeBid, "s", map[string]any{"item": int64(1)})); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.MakeBid, "s", map[string]any{"item": int64(1)})); err != nil {
 		t.Fatalf("post-recovery call failed: %v", err)
 	}
 	// The lock is released.
@@ -84,7 +85,7 @@ func TestTransientExceptionCuredByComponentNotOthers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := app.Execute(call(ebid.BrowseCategories, "", nil)); !errors.Is(err, ErrInjected) {
+	if _, err := app.Execute(context.Background(), call(ebid.BrowseCategories, "", nil)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want injected", err)
 	}
 	// µRB of an unrelated component does not cure it.
@@ -100,7 +101,7 @@ func TestTransientExceptionCuredByComponentNotOthers(t *testing.T) {
 	if f.Active() {
 		t.Fatal("covering µRB did not cure")
 	}
-	if _, err := app.Execute(call(ebid.BrowseCategories, "", nil)); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.BrowseCategories, "", nil)); err != nil {
 		t.Fatalf("post-cure call: %v", err)
 	}
 }
@@ -111,7 +112,7 @@ func TestAppMemoryLeakReclaimedByMicroreboot(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err != nil {
+		if _, err := app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func TestAppMemoryLeakReclaimedByMicroreboot(t *testing.T) {
 		t.Fatalf("freed = %d", rb.FreedBytes)
 	}
 	// The leak *code* persists (the bug is not fixed by rebooting).
-	if _, err := app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err != nil {
 		t.Fatal(err)
 	}
 	c, _ = app.Server.Container(ebid.ViewItem)
@@ -144,10 +145,10 @@ func TestCorruptPrimaryKeysModes(t *testing.T) {
 			t.Fatal(err)
 		}
 		login(t, app, "s", 2)
-		if _, err := app.Execute(call(ebid.MakeBid, "s", map[string]any{"item": int64(1)})); err != nil {
+		if _, err := app.Execute(context.Background(), call(ebid.MakeBid, "s", map[string]any{"item": int64(1)})); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := app.Execute(call(ebid.CommitBid, "s", map[string]any{"amount": 5.0})); err == nil {
+		if _, err := app.Execute(context.Background(), call(ebid.CommitBid, "s", map[string]any{"amount": 5.0})); err == nil {
 			t.Fatalf("mode %s: CommitBid should fail with corrupted keys", mode)
 		}
 		if f.Cure != CureComponent {
@@ -162,7 +163,7 @@ func TestCorruptPrimaryKeysModes(t *testing.T) {
 		if f.Active() {
 			t.Fatalf("mode %s: not cured by IdentityManager µRB", mode)
 		}
-		if _, err := app.Execute(call(ebid.CommitBid, "s", map[string]any{"amount": 5.0})); err != nil {
+		if _, err := app.Execute(context.Background(), call(ebid.CommitBid, "s", map[string]any{"amount": 5.0})); err != nil {
 			t.Fatalf("mode %s: post-cure CommitBid: %v", mode, err)
 		}
 	}
@@ -175,7 +176,7 @@ func TestCorruptNamingCuredByMicroreboot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(1)}))
+		_, err = app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(1)}))
 		if mode != ModeWrong && err == nil {
 			t.Fatalf("mode %s: expected failure", mode)
 		}
@@ -201,13 +202,13 @@ func TestCorruptSessionAttrsSelfCuring(t *testing.T) {
 		t.Fatalf("cure = %v, want unnecessary", f.Cure)
 	}
 	// First call fails; the container discards the bad instance.
-	if _, err := app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err == nil {
+	if _, err := app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err == nil {
 		t.Fatal("first call should fail")
 	}
 	if f.Active() {
 		t.Fatal("fault should have self-cured")
 	}
-	if _, err := app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(1)})); err != nil {
 		t.Fatalf("second call: %v", err)
 	}
 }
@@ -218,7 +219,7 @@ func TestCorruptSessionAttrsWrongNeedsEJBAndWAR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, err := app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(7)}))
+	body, err := app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(7)}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestCorruptSessionAttrsWrongNeedsEJBAndWAR(t *testing.T) {
 	if f.Active() {
 		t.Fatal("EJB+WAR reboots did not cure the wrong-attribute fault")
 	}
-	body, err = app.Execute(call(ebid.ViewItem, "", map[string]any{"item": int64(7)}))
+	body, err = app.Execute(context.Background(), call(ebid.ViewItem, "", map[string]any{"item": int64(7)}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestCorruptFastSCuredByWARReboot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := app.Execute(call(ebid.AboutMe, "victim", nil)); err == nil {
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "victim", nil)); err == nil {
 		t.Fatal("corrupted session should break AboutMe")
 	}
 	rb, err := app.Server.BeginScopedReboot(core.ScopeWAR, "eBid")
@@ -278,7 +279,7 @@ func TestCorruptFastSCuredByWARReboot(t *testing.T) {
 		t.Fatal("corrupted session not scrubbed")
 	}
 	login(t, app, "victim", 3)
-	if _, err := app.Execute(call(ebid.AboutMe, "victim", nil)); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "victim", nil)); err != nil {
 		t.Fatalf("after re-login: %v", err)
 	}
 }
@@ -294,14 +295,14 @@ func TestCorruptSSMSelfCuring(t *testing.T) {
 	if f.Cure != CureNone {
 		t.Fatalf("cure = %v, want none (checksum auto-discard)", f.Cure)
 	}
-	if _, err := app.Execute(call(ebid.AboutMe, "v", nil)); err == nil {
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "v", nil)); err == nil {
 		t.Fatal("first read should fail (discard)")
 	}
 	if ssm.Discarded() != 1 {
 		t.Fatalf("discarded = %d", ssm.Discarded())
 	}
 	login(t, app, "v", 3)
-	if _, err := app.Execute(call(ebid.AboutMe, "v", nil)); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "v", nil)); err != nil {
 		t.Fatalf("after re-login: %v", err)
 	}
 }
@@ -341,7 +342,7 @@ func TestJVMLevelFaultsNeedProcessRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := app.Execute(call(ebid.OpHome, "", nil)); !errors.Is(err, ErrInjected) {
+	if _, err := app.Execute(context.Background(), call(ebid.OpHome, "", nil)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v", err)
 	}
 	// App-level reboot insufficient.
@@ -355,7 +356,7 @@ func TestJVMLevelFaultsNeedProcessRestart(t *testing.T) {
 	if f.Active() {
 		t.Fatal("process restart did not cure")
 	}
-	if _, err := app.Execute(call(ebid.OpHome, "", nil)); err != nil {
+	if _, err := app.Execute(context.Background(), call(ebid.OpHome, "", nil)); err != nil {
 		t.Fatalf("post-restart: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -55,15 +56,15 @@ func (inj *Injector) Inject(spec Spec) (*ActiveFault, error) {
 	return f, nil
 }
 
-// hookContainer installs a fault hook on the target component, recording
-// its removal.
-func (inj *Injector) hookContainer(f *ActiveFault, name string, hook core.FaultHook) error {
-	c, err := inj.server.Container(name)
-	if err != nil {
+// hookComponent installs a fault hook for the target component in the
+// injector's server-level interceptor, recording its removal. The
+// component must be deployed.
+func (inj *Injector) hookComponent(f *ActiveFault, name string, hook Hook) error {
+	if _, err := inj.server.Container(name); err != nil {
 		return err
 	}
-	c.SetFaultHook(hook)
-	f.remove = func() { c.SetFaultHook(nil) }
+	inj.setHook(name, hook)
+	f.remove = func() { inj.setHook(name, nil) }
 	return nil
 }
 
@@ -85,7 +86,7 @@ func (inj *Injector) injectHang(f *ActiveFault) error {
 			inj.server.RegisterTx(comp, tx)
 		}
 	}
-	return inj.hookContainer(f, comp, func(call *core.Call) (bool, any, error) {
+	return inj.hookComponent(f, comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 		return false, nil, fmt.Errorf("%w: %v in %s: %w", ErrInjected, f.Spec.Kind, comp, core.ErrHang)
 	})
 }
@@ -107,12 +108,10 @@ func (inj *Injector) injectAppLeak(f *ActiveFault) error {
 	if err != nil {
 		return err
 	}
-	c.SetFaultHook(func(call *core.Call) (bool, any, error) {
+	return inj.hookComponent(f, comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 		c.Leak(per)
 		return true, nil, nil
 	})
-	f.remove = func() { c.SetFaultHook(nil) }
-	return nil
 }
 
 // injectException makes every call into the component raise the analog of
@@ -121,7 +120,7 @@ func (inj *Injector) injectAppLeak(f *ActiveFault) error {
 func (inj *Injector) injectException(f *ActiveFault) error {
 	f.Cure = CureComponent
 	comp := f.Spec.Component
-	return inj.hookContainer(f, comp, func(call *core.Call) (bool, any, error) {
+	return inj.hookComponent(f, comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 		return false, nil, fmt.Errorf("%w: transient exception in %s", ErrInjected, comp)
 	})
 }
@@ -136,7 +135,7 @@ func (inj *Injector) injectBadPrimaryKeys(f *ActiveFault) error {
 	mode := f.Spec.Mode
 	comp := ebid.IdentityManager
 	f.Spec.Component = comp
-	return inj.hookContainer(f, comp, func(call *core.Call) (bool, any, error) {
+	return inj.hookComponent(f, comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 		switch mode {
 		case ModeNull:
 			// Null key: access blows up like a NullPointerException.
@@ -198,7 +197,7 @@ func (inj *Injector) injectAttrCorruption(f *ActiveFault) error {
 	case ModeNull, ModeInvalid:
 		f.Cure = CureNone
 		fired := false
-		c.SetFaultHook(func(call *core.Call) (bool, any, error) {
+		inj.setHook(comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 			if fired {
 				return true, nil, nil
 			}
@@ -209,17 +208,17 @@ func (inj *Injector) injectAttrCorruption(f *ActiveFault) error {
 			f.Deactivate()
 			return false, nil, fmt.Errorf("%w: corrupted attribute (%s) in %s", ErrInjected, f.Spec.Mode, comp)
 		})
-		f.remove = func() { c.SetFaultHook(nil) }
+		f.remove = func() { inj.setHook(comp, nil) }
 	case ModeWrong:
 		f.Cure = CureComponentAndWAR
 		f.DataRepairNeeded = true
-		c.SetFaultHook(func(call *core.Call) (bool, any, error) {
+		inj.setHook(comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 			// Valid-looking but wrong output, e.g. surreptitiously
 			// altered dollar amounts — only the comparison-based
 			// detector can see this.
 			return false, "<html>item 1: gadget, max bid 0.01, 1 bids</html>", nil
 		})
-		f.remove = func() { c.SetFaultHook(nil) }
+		f.remove = func() { inj.setHook(comp, nil) }
 	default:
 		return fmt.Errorf("faults: attr corruption needs a mode")
 	}
@@ -308,7 +307,7 @@ func (inj *Injector) injectBitFlip(f *ActiveFault) error {
 		f.Spec.Component = comp
 	}
 	count := 0
-	return inj.hookContainer(f, comp, func(call *core.Call) (bool, any, error) {
+	return inj.hookComponent(f, comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 		count++
 		if count%3 == 0 { // intermittent corruption
 			return false, nil, fmt.Errorf("%w: %v under the JVM", ErrInjected, f.Spec.Kind)
@@ -323,7 +322,7 @@ func (inj *Injector) injectBadSyscall(f *ActiveFault) error {
 	f.Cure = CureProcess
 	comp := ebid.WAR
 	f.Spec.Component = comp
-	return inj.hookContainer(f, comp, func(call *core.Call) (bool, any, error) {
+	return inj.hookComponent(f, comp, func(ctx context.Context, call *core.Call) (bool, any, error) {
 		return false, nil, fmt.Errorf("%w: bad syscall return in JVM I/O", ErrInjected)
 	})
 }

@@ -6,9 +6,17 @@
 // remote invocation by a recovery manager, exactly as the paper's
 // prototype allowed µRBs "programmatically from within the server, or
 // remotely, over HTTP".
+//
+// Every request is executed under its http.Request context: the server
+// binds the execution lease (TTL) as a context deadline, and a
+// microreboot that kills the request's shepherd cancels the context, so
+// a wedged handler unblocks the moment recovery starts.
 package httpfront
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,14 +29,25 @@ import (
 	"repro/internal/ebid"
 )
 
+// DefaultRequestTTL is the execution lease granted to each HTTP request;
+// a stuck request observes context cancellation when it expires.
+const DefaultRequestTTL = time.Minute
+
 // Front is the HTTP front end for one application server.
 type Front struct {
-	App   *ebid.App
-	start time.Time
+	App *ebid.App
+	// RequestTTL overrides the execution lease on incoming requests
+	// (DefaultRequestTTL when zero).
+	RequestTTL time.Duration
+	start      time.Time
 }
 
-// New builds a front end for the given application.
+// New builds a front end for the given application. The server is put in
+// hang-parking mode: a request wedged by a deadlock or infinite loop
+// blocks on its context until a microreboot kills it or its lease
+// expires, as a real servlet thread would.
 func New(app *ebid.App) *Front {
+	app.Server.SetHangParking(true)
 	return &Front{App: app, start: time.Now()}
 }
 
@@ -43,14 +62,27 @@ func (f *Front) Handler() http.Handler {
 	return mux
 }
 
-// sessionID extracts (or assigns) the session cookie.
+// sessionID extracts (or assigns) the session cookie. Fresh IDs come from
+// crypto/rand so concurrent first requests can never collide.
 func (f *Front) sessionID(w http.ResponseWriter, r *http.Request) string {
 	if c, err := r.Cookie("EBIDSESSION"); err == nil && c.Value != "" {
 		return c.Value
 	}
-	id := fmt.Sprintf("http-%d", time.Now().UnixNano())
+	var buf [16]byte
+	rand.Read(buf[:]) // never fails (aborts the program instead) since Go 1.24
+	id := "http-" + hex.EncodeToString(buf[:])
 	http.SetCookie(w, &http.Cookie{Name: "EBIDSESSION", Value: id, Path: "/"})
 	return id
+}
+
+// retryAfterSeconds renders a Retry-After hint, rounding up to the
+// HTTP-granularity whole second.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // serveOp dispatches /ebid/<Op>?arg=value... into the application.
@@ -76,36 +108,49 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 		}
 		args[key] = vals[0]
 	}
+	ttl := f.RequestTTL
+	if ttl <= 0 {
+		ttl = DefaultRequestTTL
+	}
 	call := &core.Call{
 		Op:        op,
 		SessionID: f.sessionID(w, r),
 		Args:      args,
-		TTL:       time.Minute,
+		TTL:       ttl,
 	}
-	body, err := f.App.Execute(call)
+	// The request context is the root of the call's shepherd: client
+	// disconnects, lease expiry and µRB kills all cancel it.
+	body, err := f.App.Execute(r.Context(), call)
 	if err != nil {
-		var ra *core.RetryAfterError
-		if errors.As(err, &ra) {
-			// The paper's transparent-retry machinery: idempotent
-			// requests may simply be reissued after this interval.
-			secs := int(ra.After.Seconds())
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			http.Error(w, "component recovering: "+ra.Component, http.StatusServiceUnavailable)
-			return
-		}
-		if errors.Is(err, core.ErrHang) {
-			http.Error(w, "request wedged (deadlock/loop injected)", http.StatusGatewayTimeout)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		f.writeOpError(w, err)
 		return
 	}
 	_ = info
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintln(w, body)
+}
+
+// writeOpError maps invocation failures to HTTP statuses.
+func (f *Front) writeOpError(w http.ResponseWriter, err error) {
+	var ra *core.RetryAfterError
+	switch {
+	case errors.As(err, &ra):
+		// The paper's transparent-retry machinery: idempotent requests
+		// may simply be reissued after this interval.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(ra.After)))
+		http.Error(w, "component recovering: "+ra.Component, http.StatusServiceUnavailable)
+	case errors.Is(err, core.ErrKilled):
+		// The shepherd was killed by a microreboot: the component is
+		// recovering right now, so the client should retry shortly.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "request killed by recovery: "+err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, core.ErrLeaseExpired) || errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "execution lease expired: "+err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, core.ErrHang):
+		http.Error(w, "request wedged (deadlock/loop injected)", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // serveMicroreboot handles POST /admin/microreboot?component=Name — the
@@ -132,10 +177,11 @@ func (f *Front) serveMicroreboot(w http.ResponseWriter, r *http.Request) {
 		_ = f.App.Server.CompleteMicroreboot(rb)
 	}()
 	writeJSON(w, map[string]any{
-		"members":     rb.Members,
-		"duration_ms": rb.Duration().Milliseconds(),
-		"freed_bytes": rb.FreedBytes,
-		"aborted_txs": rb.AbortedTxs,
+		"members":      rb.Members,
+		"duration_ms":  rb.Duration().Milliseconds(),
+		"freed_bytes":  rb.FreedBytes,
+		"aborted_txs":  rb.AbortedTxs,
+		"killed_calls": len(rb.KilledCalls),
 	})
 }
 
@@ -170,16 +216,18 @@ func (f *Front) serveReboot(w http.ResponseWriter, r *http.Request) {
 		"duration_ms": rb.Duration().Milliseconds()})
 }
 
-// serveComponents lists deployed components with their states.
+// serveComponents lists deployed components with their states. Outcome
+// counters come from the invocation-stats interceptor on the server.
 func (f *Front) serveComponents(w http.ResponseWriter, r *http.Request) {
 	type comp struct {
-		Name     string   `json:"name"`
-		Kind     string   `json:"kind"`
-		State    string   `json:"state"`
-		Group    []string `json:"recovery_group"`
-		Served   uint64   `json:"served"`
-		Failed   uint64   `json:"failed"`
-		Rebooted uint64   `json:"rebooted"`
+		Name      string   `json:"name"`
+		Kind      string   `json:"kind"`
+		State     string   `json:"state"`
+		Group     []string `json:"recovery_group"`
+		Served    uint64   `json:"served"`
+		Failed    uint64   `json:"failed"`
+		Rebooted  uint64   `json:"rebooted"`
+		MeanLatMs float64  `json:"mean_latency_ms"`
 	}
 	var out []comp
 	for _, name := range f.App.Server.Components() {
@@ -188,10 +236,11 @@ func (f *Front) serveComponents(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		g, _ := f.App.Server.RecoveryGroup(name)
-		served, failed, rebooted := c.Stats()
+		st := f.App.Stats.Component(name)
 		out = append(out, comp{
 			Name: name, Kind: c.Kind().String(), State: c.State().String(),
-			Group: g, Served: served, Failed: failed, Rebooted: rebooted,
+			Group: g, Served: st.Served, Failed: st.Failed, Rebooted: c.Rebooted(),
+			MeanLatMs: float64(st.MeanLatency().Microseconds()) / 1000,
 		})
 	}
 	writeJSON(w, out)

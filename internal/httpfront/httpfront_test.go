@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ebid"
+	"repro/internal/faults"
 	"repro/internal/store/db"
 	"repro/internal/store/session"
 )
@@ -129,6 +131,180 @@ func TestMicrorebootOverHTTPAnd503(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET admin: %d", resp.StatusCode)
+	}
+}
+
+// A request hitting a mid-microreboot component must receive 503 with a
+// Retry-After header that covers the component's remaining recovery time
+// (ViewItem's modeled µRB is 446 ms → 1 s at HTTP granularity).
+func TestRetryAfterPropagation(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	rb, err := f.App.Server.BeginMicroreboot(ebid.ViewItem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/ebid/ViewItem?item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\" (ceil of 446ms)", got)
+	}
+	if err := f.App.Server.CompleteMicroreboot(rb); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/ebid/ViewItem?item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("after reintegration: %d, want 200", resp.StatusCode)
+	}
+}
+
+// A killed in-flight request must observe context cancellation: a request
+// wedged inside a component (injected infinite loop) parks on its
+// context, and the microreboot that destroys its shepherd unblocks it
+// immediately with 503 + Retry-After.
+func TestKilledInFlightRequestObservesCancellation(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	inj := faults.NewInjector(f.App.Server, f.App.DB, f.App.Sessions)
+	if _, err := inj.Inject(faults.Spec{Kind: faults.InfiniteLoop, Component: ebid.ViewItem}); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		status     int
+		retryAfter string
+		err        error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/ebid/ViewItem?item=1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+	}()
+
+	// Wait until the request is parked inside the wedged component.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.App.Server.ActiveCalls(ebid.ViewItem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked in ViewItem")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case r := <-done:
+		t.Fatalf("wedged request returned before the µRB: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The µRB kills the shepherd; the parked request must unblock.
+	rb, err := f.App.Server.Microreboot(ebid.ViewItem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.KilledCalls) == 0 {
+		t.Fatal("µRB reported no killed calls")
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("killed request transport error: %v", r.err)
+		}
+		if r.status != http.StatusServiceUnavailable {
+			t.Fatalf("killed request status = %d, want 503", r.status)
+		}
+		if r.retryAfter == "" {
+			t.Fatal("killed request missing Retry-After header")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("killed in-flight request did not observe context cancellation")
+	}
+}
+
+// The execution lease is a real context deadline: a wedged request whose
+// TTL expires returns 504 without any recovery action.
+func TestLeaseExpiryReturns504(t *testing.T) {
+	f := newFront(t)
+	f.RequestTTL = 100 * time.Millisecond
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	inj := faults.NewInjector(f.App.Server, f.App.DB, f.App.Sessions)
+	if _, err := inj.Inject(faults.Spec{Kind: faults.InfiniteLoop, Component: ebid.ViewItem}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/ebid/ViewItem?item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("lease expiry took %v; context deadline not enforced", took)
+	}
+}
+
+// Fresh session IDs must be collision-free under concurrent first
+// requests (crypto/rand, not timestamps).
+func TestSessionIDsUnique(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	const n = 32
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/ebid/Home")
+			if err != nil {
+				ids <- "err:" + err.Error()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			for _, c := range resp.Cookies() {
+				if c.Name == "EBIDSESSION" {
+					ids <- c.Value
+					return
+				}
+			}
+			ids <- "missing"
+		}()
+	}
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		id := <-ids
+		if id == "missing" || strings.HasPrefix(id, "err:") {
+			t.Fatalf("bad session id result: %s", id)
+		}
+		if seen[id] {
+			t.Fatalf("session id collision: %s", id)
+		}
+		seen[id] = true
 	}
 }
 

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ComponentStats is the per-component invocation accounting gathered by
+// InvocationStats: outcomes and cumulative latency of every hop that
+// entered the component.
+type ComponentStats struct {
+	// Served counts invocations dispatched into the component.
+	Served uint64
+	// Failed counts invocations that returned an error (including
+	// injected faults and mid-microreboot RetryAfter rejections).
+	Failed uint64
+	// TotalLatency is the summed processing time of all invocations.
+	TotalLatency time.Duration
+}
+
+// MeanLatency returns the average per-invocation latency.
+func (s ComponentStats) MeanLatency() time.Duration {
+	if s.Served == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Served)
+}
+
+// InvocationStats is latency/outcome accounting for the component
+// server's invocation pipeline. It plugs into core.Server as an
+// Interceptor — the single extension point for cross-cutting measurement
+// — replacing the per-container counters the server used to maintain by
+// hand.
+type InvocationStats struct {
+	mu    sync.Mutex
+	now   func() time.Duration
+	stats map[string]*ComponentStats
+}
+
+// NewInvocationStats builds invocation accounting driven by the given
+// time source (virtual time in simulations); nil means wall-clock time.
+func NewInvocationStats(now func() time.Duration) *InvocationStats {
+	if now == nil {
+		epoch := time.Now()
+		now = func() time.Duration { return time.Since(epoch) }
+	}
+	return &InvocationStats{now: now, stats: map[string]*ComponentStats{}}
+}
+
+// Interceptor returns the middleware to register on a core.Server. It
+// observes every hop: the initial web-tier dispatch and each
+// inter-component call.
+func (s *InvocationStats) Interceptor() core.Interceptor {
+	return func(ctx context.Context, call *core.Call, next core.Handler) (any, error) {
+		start := s.now()
+		res, err := next(ctx, call)
+		s.record(call.Component, s.now()-start, err)
+		return res, err
+	}
+}
+
+func (s *InvocationStats) record(component string, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.stats[component]
+	if cs == nil {
+		cs = &ComponentStats{}
+		s.stats[component] = cs
+	}
+	cs.Served++
+	if err != nil {
+		cs.Failed++
+	}
+	if d > 0 {
+		cs.TotalLatency += d
+	}
+}
+
+// Component returns a snapshot of one component's accounting.
+func (s *InvocationStats) Component(name string) ComponentStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs := s.stats[name]; cs != nil {
+		return *cs
+	}
+	return ComponentStats{}
+}
+
+// Components returns the names of all components observed so far, sorted.
+func (s *InvocationStats) Components() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.stats))
+	for n := range s.stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Totals returns the summed served/failed counts across all components.
+func (s *InvocationStats) Totals() (served, failed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cs := range s.stats {
+		served += cs.Served
+		failed += cs.Failed
+	}
+	return served, failed
+}

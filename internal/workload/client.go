@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -165,6 +166,7 @@ func (c *client) issue(op string, args map[string]any) {
 		SessionID: sid,
 		Args:      args,
 		Issued:    issued,
+		Ctx:       context.Background(),
 	}
 	req.Complete = func(resp Response) {
 		c.inFlight = false

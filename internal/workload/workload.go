@@ -13,6 +13,7 @@
 package workload
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +29,9 @@ type Request struct {
 	SessionID string
 	Args      map[string]any
 	Issued    time.Duration
+	// Ctx is the request's root context, threaded down through
+	// core.Server.Invoke; nil means context.Background().
+	Ctx context.Context
 	// Call is the in-application call object; frontends construct it so
 	// microreboot kill notifications can be correlated.
 	Call *core.Call
