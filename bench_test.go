@@ -12,10 +12,15 @@
 package repro
 
 import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/store/session"
 )
 
 var benchOpts = experiments.Options{Quick: true, Seed: 42}
@@ -193,5 +198,192 @@ func BenchmarkAblation_SentinelDelay(b *testing.B) {
 		r := experiments.AblationDelay(benchOpts, "")
 		b.ReportMetric(float64(r.BestDelay.Milliseconds()), "best-delay-ms")
 		b.ReportMetric(r.Rows[0].FailedPerRB, "failed-no-delay")
+	}
+}
+
+// ----------------------------------------------------- store micro-benches
+
+// singleLockStore is the pre-stripe FastS design — one RWMutex guarding
+// one map — kept here as the baseline the striped FastS is measured
+// against in the parallel benchmarks.
+type singleLockStore struct {
+	mu       sync.RWMutex
+	sessions map[string]*session.Session
+}
+
+func newSingleLockStore() *singleLockStore {
+	return &singleLockStore{sessions: map[string]*session.Session{}}
+}
+
+func (s *singleLockStore) Name() string                 { return "SingleLock" }
+func (s *singleLockStore) SurvivesProcessRestart() bool { return false }
+
+func (s *singleLockStore) Read(id string) (*session.Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, session.ErrNotFound
+	}
+	return sess.Clone(), nil
+}
+
+func (s *singleLockStore) Write(sess *session.Session) error {
+	if sess == nil || sess.ID == "" {
+		return errors.New("bench: Write requires an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[sess.ID] = sess.Clone()
+	return nil
+}
+
+func (s *singleLockStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, id)
+	return nil
+}
+
+func (s *singleLockStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+var _ session.Store = (*singleLockStore)(nil)
+
+// benchStores builds one instance of every store under test.
+func benchStores(b *testing.B) map[string]session.Store {
+	b.Helper()
+	cl, err := session.NewSSMCluster(session.ClusterConfig{Shards: 4, Replicas: 3, WriteQuorum: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]session.Store{
+		"SingleLock": newSingleLockStore(),
+		"FastS":      session.NewFastS(),
+		"SSM":        session.NewSSM(nil, 0),
+		"SSMCluster": cl,
+	}
+}
+
+// benchStoreOrder fixes sub-benchmark ordering (maps iterate randomly).
+var benchStoreOrder = []string{"SingleLock", "FastS", "SSM", "SSMCluster"}
+
+const benchSessionPop = 1024
+
+// benchIDs precomputes the session-id table so read benchmarks measure
+// the store, not fmt.Sprintf.
+var benchIDs = func() [benchSessionPop]string {
+	var ids [benchSessionPop]string
+	for i := range ids {
+		ids[i] = fmt.Sprintf("sess-%d", i)
+	}
+	return ids
+}()
+
+func benchID(i int) string { return benchIDs[i%benchSessionPop] }
+
+func benchSession(i int) *session.Session {
+	return &session.Session{
+		ID:     benchID(i),
+		UserID: int64(i + 1),
+		Data:   map[string]string{"cart": "open", "step": "2"},
+		Items:  []int64{7, 9},
+	}
+}
+
+func populate(b *testing.B, s session.Store) {
+	b.Helper()
+	for i := 0; i < benchSessionPop; i++ {
+		if err := s.Write(benchSession(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreSequentialWrite measures single-goroutine write latency
+// per store backend.
+func BenchmarkStoreSequentialWrite(b *testing.B) {
+	stores := benchStores(b)
+	for _, name := range benchStoreOrder {
+		s := stores[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Write(benchSession(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreSequentialRead measures single-goroutine read latency.
+func BenchmarkStoreSequentialRead(b *testing.B) {
+	stores := benchStores(b)
+	for _, name := range benchStoreOrder {
+		s := stores[name]
+		populate(b, s)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Read(benchID(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreParallelRead is the contention benchmark: many readers on
+// a shared store. On multi-core hardware the striped FastS beats the
+// single-lock baseline here — readers of different sessions no longer
+// serialize on one RWMutex cache line (on a single-core runner the two
+// are equivalent, since nothing actually contends).
+func BenchmarkStoreParallelRead(b *testing.B) {
+	stores := benchStores(b)
+	for _, name := range benchStoreOrder {
+		s := stores[name]
+		populate(b, s)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var off int64
+			b.RunParallel(func(pb *testing.PB) {
+				// Offset each goroutine so readers spread across the key
+				// space instead of marching in lockstep.
+				i := int(atomic.AddInt64(&off, 251))
+				for pb.Next() {
+					i++
+					if _, err := s.Read(benchID(i)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreParallelWrite measures write throughput under contention.
+func BenchmarkStoreParallelWrite(b *testing.B) {
+	stores := benchStores(b)
+	for _, name := range benchStoreOrder {
+		s := stores[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var off int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(atomic.AddInt64(&off, 251))
+				for pb.Next() {
+					i++
+					if err := s.Write(benchSession(i)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }

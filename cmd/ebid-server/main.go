@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ebid-server [-addr :8080] [-store fasts|ssm] [-users N] [-items N] [-wal file]
+//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file]
 //
 // Try it:
 //
@@ -28,7 +28,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	storeKind := flag.String("store", "fasts", "session store: fasts or ssm")
+	storeKind := flag.String("store", "fasts", "session store: fasts, ssm or ssm-cluster")
+	shards := flag.Int("shards", 4, "ssm-cluster: hash shards S")
+	replicas := flag.Int("replicas", 3, "ssm-cluster: brick replicas N per shard")
+	writeQuorum := flag.Int("write-quorum", 2, "ssm-cluster: write quorum W (W ≤ N)")
 	users := flag.Int("users", 250, "dataset users")
 	items := flag.Int("items", 3300, "dataset items")
 	walPath := flag.String("wal", "", "mirror the database WAL to this file")
@@ -57,6 +60,20 @@ func main() {
 	switch *storeKind {
 	case "ssm":
 		store = session.NewSSM(clock, session.DefaultLeaseTTL)
+	case "ssm-cluster":
+		cl, err := session.NewSSMCluster(session.ClusterConfig{
+			Shards:      *shards,
+			Replicas:    *replicas,
+			WriteQuorum: *writeQuorum,
+			Now:         clock,
+			LeaseTTL:    session.DefaultLeaseTTL,
+		})
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		log.Printf("ssm brick cluster: %d shards × %d replicas, write quorum %d (%d bricks)",
+			*shards, *replicas, *writeQuorum, len(cl.Bricks()))
+		store = cl
 	case "fasts":
 		store = session.NewFastS()
 	default:

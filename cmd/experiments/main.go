@@ -91,6 +91,10 @@ func main() {
 		section("Ablation (extension): sentinel-to-crash delay")
 		fmt.Println(experiments.AblationDelay(o, ""))
 	}
+	if run("brickcrash") {
+		section("Brick crash (extension): SSM brick cluster under load")
+		fmt.Println(experiments.FigureBrickCrash(o))
+	}
 	if run("section61") {
 		section("Section 6.1")
 		if fig1 == nil {

@@ -29,7 +29,8 @@ func main() {
 	if err := ebid.LoadDataset(database, dataset); err != nil {
 		log.Fatal(err)
 	}
-	node, err := cluster.NewNode(kernel, database, session.NewFastS(), cluster.NodeConfig{
+	store := session.NewFastS()
+	node, err := cluster.NewNode(kernel, database, store, cluster.NodeConfig{
 		Name: "node0", Dataset: dataset,
 	})
 	if err != nil {
@@ -50,7 +51,10 @@ func main() {
 	})
 
 	// At t=3min, corrupt the naming entry for the bid-commit component.
-	injector := faults.NewInjector(node.Server(), database, session.NewFastS())
+	// The injector must target the node's actual store: with a fresh
+	// FastS here, store-corruption faults would silently damage an
+	// unused map instead of live session state.
+	injector := faults.NewInjector(node.Server(), database, node.Store())
 	kernel.ScheduleAt(3*time.Minute, func() {
 		fmt.Println("t=3m  injecting: corrupt naming entry for CommitBid")
 		if _, err := injector.Inject(faults.Spec{

@@ -158,6 +158,10 @@ func (n *Node) App() *ebid.App { return n.app }
 // Server exposes the node's application server.
 func (n *Node) Server() *core.Server { return n.app.Server }
 
+// Store exposes the node's session store (fault injectors and recovery
+// managers must target the store the node actually uses).
+func (n *Node) Store() session.Store { return n.store }
+
 // Down reports whether the node's process is currently down.
 func (n *Node) Down() bool { return n.down }
 
@@ -201,7 +205,9 @@ func (n *Node) serviceTime(op string) time.Duration {
 		d += ebid.MicrorebootOverhead
 	}
 	if info, ok := ebid.Info(op); ok && (info.NeedsSession || op == ebid.Authenticate || op == ebid.RegisterNewUser || op == ebid.OpLogout) {
-		if _, isSSM := n.store.(*session.SSM); isSSM {
+		// Off-node stores (SSM and the SSM brick cluster) pay the
+		// marshalling + network cost on every session access.
+		if n.store.SurvivesProcessRestart() {
 			d += ebid.SSMAccessCost
 		}
 	}

@@ -185,6 +185,30 @@ func TestFigure6Shape(t *testing.T) {
 	t.Log("\n" + r.String())
 }
 
+func TestBrickCrashZeroSessionLoss(t *testing.T) {
+	r := FigureBrickCrash(quick)
+	if r.SessionsAtCrash == 0 || r.EntriesLost == 0 {
+		t.Fatalf("vacuous run: %d sessions, victim held %d entries", r.SessionsAtCrash, r.EntriesLost)
+	}
+	if r.LostSessions != 0 {
+		t.Fatalf("lost %d sessions to a single brick crash, want 0 (N=%d, W=%d)",
+			r.LostSessions, r.Replicas, r.WriteQuorum)
+	}
+	if delta := r.FailuresAfter - r.FailuresBefore; delta != 0 {
+		t.Fatalf("brick crash surfaced %d client-visible failures, want 0", delta)
+	}
+	if !r.BrickRestarted {
+		t.Fatal("recovery manager never restarted the dead brick")
+	}
+	if r.RestoredEntries == 0 {
+		t.Fatal("re-replication restored nothing into the restarted brick")
+	}
+	if r.DetectedAt <= r.CrashAt {
+		t.Fatalf("detection at %v not after crash at %v", r.DetectedAt, r.CrashAt)
+	}
+	t.Log("\n" + r.String())
+}
+
 func TestTable5PerformanceShape(t *testing.T) {
 	r := Table5(quick)
 	if len(r.Rows) != 4 {

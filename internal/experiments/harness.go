@@ -60,6 +60,8 @@ type env struct {
 	recorder *metrics.Recorder
 	emulator *workload.Emulator
 	injector *faults.Injector
+	// bricks is non-nil when the store is the SSM brick cluster.
+	bricks *session.SSMCluster
 }
 
 // storeKind selects the session store.
@@ -68,7 +70,26 @@ type storeKind int
 const (
 	useFastS storeKind = iota
 	useSSM
+	useSSMCluster
 )
+
+// newStore builds the session store for a kind on the kernel's clock.
+func newStore(k *sim.Kernel, kind storeKind) session.Store {
+	switch kind {
+	case useSSM:
+		return session.NewSSM(k.Now, time.Hour)
+	case useSSMCluster:
+		cl, err := session.NewSSMCluster(session.ClusterConfig{
+			Shards: 4, Replicas: 3, WriteQuorum: 2, Now: k.Now, LeaseTTL: time.Hour,
+		})
+		if err != nil {
+			panic("experiments: cluster store: " + err.Error())
+		}
+		return cl
+	default:
+		return session.NewFastS()
+	}
+}
 
 func experimentDataset(o Options) ebid.DatasetConfig {
 	cfg := ebid.DefaultDataset()
@@ -87,12 +108,7 @@ func newEnv(o Options, clients int, kind storeKind, nodeCfg cluster.NodeConfig) 
 	if err := ebid.LoadDataset(d, ds); err != nil {
 		panic("experiments: dataset: " + err.Error())
 	}
-	var store session.Store
-	if kind == useSSM {
-		store = session.NewSSM(k.Now, time.Hour)
-	} else {
-		store = session.NewFastS()
-	}
+	store := newStore(k, kind)
 	nodeCfg.Dataset = ds
 	if nodeCfg.Name == "" {
 		nodeCfg.Name = "node0"
@@ -109,7 +125,7 @@ func newEnv(o Options, clients int, kind storeKind, nodeCfg cluster.NodeConfig) 
 		Categories: int64(ds.Categories),
 		Regions:    int64(ds.Regions),
 	})
-	return &env{
+	e := &env{
 		kernel:   k,
 		db:       d,
 		store:    store,
@@ -118,6 +134,10 @@ func newEnv(o Options, clients int, kind storeKind, nodeCfg cluster.NodeConfig) 
 		emulator: em,
 		injector: faults.NewInjector(n.Server(), d, store),
 	}
+	if cl, ok := store.(*session.SSMCluster); ok {
+		e.bricks = cl
+	}
+	return e
 }
 
 // clusterEnv is a multi-node environment sharing one database (and one

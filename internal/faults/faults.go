@@ -53,6 +53,13 @@ const (
 	BitFlipMemory
 	BitFlipRegisters
 	BadSyscall
+	// BrickCrash kills one SSM brick (a session-state node of the Ling
+	// et al. brick cluster); its replica state is lost until a brick
+	// restart re-replicates the shard.
+	BrickCrash
+	// BrickSlow degrades one SSM brick; the cluster routes reads away
+	// from it (fail-stutter, not fail-stop).
+	BrickSlow
 )
 
 var kindNames = map[Kind]string{
@@ -72,6 +79,8 @@ var kindNames = map[Kind]string{
 	BitFlipMemory:       "bit flips in process memory",
 	BitFlipRegisters:    "bit flips in process registers",
 	BadSyscall:          "bad system call return values",
+	BrickCrash:          "crash an SSM brick",
+	BrickSlow:           "degrade an SSM brick",
 }
 
 func (k Kind) String() string {
@@ -204,8 +213,14 @@ func (f *ActiveFault) Deactivate() {
 	}
 }
 
-// observeReboot applies a reboot event to the fault's cure state.
+// observeReboot applies a reboot event to the fault's cure state. Brick
+// faults are exempt: bricks live on separate SSM machines, so no reboot
+// of the application node — whatever its scope — can touch them. They
+// clear only through the brick's own restart (the OnBrickRestart hook).
 func (f *ActiveFault) observeReboot(rb *core.Reboot) {
+	if f.Spec.Kind == BrickCrash || f.Spec.Kind == BrickSlow {
+		return
+	}
 	f.mu.Lock()
 	if !f.active || f.Persistent {
 		f.mu.Unlock()
@@ -287,6 +302,21 @@ func NewInjector(server *core.Server, d *db.DB, store session.Store) *Injector {
 			f.observeReboot(rb)
 		}
 	})
+	// Brick faults are cured by the brick's own crash/restart lifecycle,
+	// not by application reboots: a restart (plus re-replication) clears
+	// any crash or slowdown injected into that brick.
+	if cl, ok := store.(*session.SSMCluster); ok {
+		cl.OnBrickRestart(func(b *session.Brick) {
+			inj.mu.Lock()
+			faults := append([]*ActiveFault(nil), inj.active...)
+			inj.mu.Unlock()
+			for _, f := range faults {
+				if (f.Spec.Kind == BrickCrash || f.Spec.Kind == BrickSlow) && f.Spec.Component == b.Name() {
+					f.Deactivate()
+				}
+			}
+		})
+	}
 	return inj
 }
 

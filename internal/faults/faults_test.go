@@ -388,8 +388,142 @@ func TestExtraJVMLeakNeedsNodeReboot(t *testing.T) {
 	}
 }
 
+func newBrickCluster(t *testing.T) *session.SSMCluster {
+	t.Helper()
+	cl, err := session.NewSSMCluster(session.ClusterConfig{Shards: 2, Replicas: 3, WriteQuorum: 2, LeaseTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestBrickCrashMaskedByQuorumAndCuredByRestart(t *testing.T) {
+	cl := newBrickCluster(t)
+	app, inj := newTarget(t, cl)
+	login(t, app, "s", 3)
+	victim := cl.Bricks()[0].Name()
+	f, err := inj.Inject(Spec{Kind: BrickCrash, Component: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cure != CureComponent {
+		t.Fatalf("cure = %v, want EJB-equivalent brick µRB", f.Cure)
+	}
+	if got := cl.DeadBricks(); len(got) != 1 || got[0] != victim {
+		t.Fatalf("DeadBricks = %v", got)
+	}
+	// One dead brick of three: session operations keep working.
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "s", nil)); err != nil {
+		t.Fatalf("session op with one brick down: %v", err)
+	}
+	login(t, app, "t", 4) // writes still reach the W=2 quorum
+	// Restarting the brick re-replicates the shard and clears the fault.
+	if _, err := cl.RestartBrick(victim); err != nil {
+		t.Fatal(err)
+	}
+	if f.Active() {
+		t.Fatal("brick-crash fault still active after brick restart")
+	}
+	if len(cl.DeadBricks()) != 0 {
+		t.Fatalf("DeadBricks = %v after restart", cl.DeadBricks())
+	}
+}
+
+func TestBrickSlowRoutedAroundAndCleared(t *testing.T) {
+	cl := newBrickCluster(t)
+	app, inj := newTarget(t, cl)
+	login(t, app, "s", 3)
+	// Target a brick on the session's shard so reads must route around it.
+	shard := cl.ShardFor("s")
+	victim := ""
+	for _, b := range cl.Bricks() {
+		if b.Shard() == shard {
+			victim = b.Name()
+			break
+		}
+	}
+	f, err := inj.Inject(Spec{Kind: BrickSlow, Component: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "s", nil)); err != nil {
+		t.Fatalf("session op with slow brick: %v", err)
+	}
+	if cl.SlowBypasses() == 0 {
+		t.Fatal("reads did not route around the slow brick")
+	}
+	f.Deactivate()
+	b, _ := cl.BrickByName(victim)
+	if b.Slow() {
+		t.Fatal("Deactivate did not heal the slow brick")
+	}
+}
+
+func TestBrickFaultsSurviveAppNodeReboots(t *testing.T) {
+	// Regression: bricks live on separate SSM machines, so no reboot of
+	// the application node — not even process scope — may cure a brick
+	// fault. Only the brick's own restart clears it.
+	cl := newBrickCluster(t)
+	app, inj := newTarget(t, cl)
+	victim := cl.Bricks()[0].Name()
+	slowFault, err := inj.Inject(Spec{Kind: BrickSlow, Component: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashFault, err := inj.Inject(Spec{Kind: BrickCrash, Component: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scope := range []core.Scope{core.ScopeApp, core.ScopeProcess} {
+		rb, _ := app.Server.BeginScopedReboot(scope, "eBid")
+		_ = app.Server.CompleteMicroreboot(rb)
+	}
+	if !slowFault.Active() || !crashFault.Active() {
+		t.Fatal("application-node reboot cured an off-node brick fault")
+	}
+	b, _ := cl.BrickByName(victim)
+	if b.Up() {
+		t.Fatal("crashed brick came back without a brick restart")
+	}
+	if _, err := cl.RestartBrick(victim); err != nil {
+		t.Fatal(err)
+	}
+	if slowFault.Active() || crashFault.Active() {
+		t.Fatal("brick restart did not clear the brick faults")
+	}
+}
+
+func TestCorruptSSMWorksOnCluster(t *testing.T) {
+	cl := newBrickCluster(t)
+	app, inj := newTarget(t, cl)
+	login(t, app, "v", 3)
+	if _, err := inj.Inject(Spec{Kind: CorruptSSM, SessionID: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster masks single-replica corruption: the damaged copy is
+	// discarded and a healthy replica serves the read.
+	if _, err := app.Execute(context.Background(), call(ebid.AboutMe, "v", nil)); err != nil {
+		t.Fatalf("read after single-replica corruption: %v", err)
+	}
+	if cl.Discarded() != 1 {
+		t.Fatalf("discarded = %d, want 1", cl.Discarded())
+	}
+}
+
+func TestBrickFaultsRequireCluster(t *testing.T) {
+	_, inj := newTarget(t, session.NewFastS())
+	if _, err := inj.Inject(Spec{Kind: BrickCrash}); err == nil {
+		t.Fatal("brick crash on FastS should fail")
+	}
+	cl := newBrickCluster(t)
+	_, inj = newTarget(t, cl)
+	if _, err := inj.Inject(Spec{Kind: BrickSlow, Component: "ssm/s9-r9"}); err == nil {
+		t.Fatal("unknown brick name should fail")
+	}
+}
+
 func TestKindAndCureStrings(t *testing.T) {
-	for k := Deadlock; k <= BadSyscall; k++ {
+	for k := Deadlock; k <= BrickSlow; k++ {
 		if k.String() == "" {
 			t.Fatalf("Kind %d has empty name", k)
 		}

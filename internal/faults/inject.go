@@ -44,6 +44,10 @@ func (inj *Injector) Inject(spec Spec) (*ActiveFault, error) {
 		err = inj.injectBitFlip(f)
 	case BadSyscall:
 		err = inj.injectBadSyscall(f)
+	case BrickCrash:
+		err = inj.injectBrickCrash(f)
+	case BrickSlow:
+		err = inj.injectBrickSlow(f)
 	default:
 		err = fmt.Errorf("faults: unknown kind %v", spec.Kind)
 	}
@@ -246,18 +250,69 @@ func (inj *Injector) injectFastSCorruption(f *ActiveFault) error {
 	return nil
 }
 
-// injectSSMCorruption flips bits in a stored session blob; SSM's checksum
-// detects and discards it on the next read, so no reboot is needed.
+// injectSSMCorruption flips bits in a stored session blob; the store's
+// checksum detects and discards the bad copy on the next read, so no
+// reboot is needed. Both SSM and the brick cluster support this (the
+// cluster scopes the damage to one replica, which heals by read-repair).
 func (inj *Injector) injectSSMCorruption(f *ActiveFault) error {
-	m, ok := inj.store.(*session.SSM)
+	m, ok := inj.store.(interface{ CorruptBits(string) error })
 	if !ok {
-		return fmt.Errorf("faults: SSM corruption requires an SSM store")
+		return fmt.Errorf("faults: SSM corruption requires an SSM or SSMCluster store")
 	}
 	f.Cure = CureNone
 	if err := m.CorruptBits(f.Spec.SessionID); err != nil {
 		return err
 	}
 	f.remove = func() {}
+	return nil
+}
+
+// brickCluster asserts the injector's store is the brick cluster and
+// resolves the target brick (defaulting to the first brick).
+func (inj *Injector) brickCluster(f *ActiveFault) (*session.SSMCluster, string, error) {
+	cl, ok := inj.store.(*session.SSMCluster)
+	if !ok {
+		return nil, "", fmt.Errorf("faults: brick faults require an SSMCluster store")
+	}
+	name := f.Spec.Component
+	if name == "" {
+		name = cl.Bricks()[0].Name()
+		f.Spec.Component = name
+	}
+	if _, err := cl.BrickByName(name); err != nil {
+		return nil, "", err
+	}
+	return cl, name, nil
+}
+
+// injectBrickCrash kills one session-state brick. With W ≤ N-1 live
+// replicas per shard the application never notices; the fault clears when
+// the brick is restarted (the recovery manager's brick µRB).
+func (inj *Injector) injectBrickCrash(f *ActiveFault) error {
+	cl, name, err := inj.brickCluster(f)
+	if err != nil {
+		return err
+	}
+	f.Cure = CureComponent // a brick µRB, performed by RM's brick path
+	if err := cl.CrashBrick(name); err != nil {
+		return err
+	}
+	f.remove = func() {}
+	return nil
+}
+
+// injectBrickSlow degrades one brick; reads route around it until the
+// fault is cleared or the brick is restarted.
+func (inj *Injector) injectBrickSlow(f *ActiveFault) error {
+	cl, name, err := inj.brickCluster(f)
+	if err != nil {
+		return err
+	}
+	f.Cure = CureComponent
+	if err := cl.SetBrickSlow(name, true); err != nil {
+		return err
+	}
+	f.remove = func() { _ = cl.SetBrickSlow(name, false) }
 	return nil
 }
 

@@ -28,6 +28,17 @@ type Rebooter interface {
 	Recovering() bool
 }
 
+// BrickStore abstracts the session-state brick cluster so RM can recover
+// a dead brick the same way it microreboots an EJB: crash-restart it and
+// let re-replication restore the shard. *session.SSMCluster implements it.
+type BrickStore interface {
+	// DeadBricks names the crashed bricks (heartbeat-loss view).
+	DeadBricks() []string
+	// RestartBrick reboots one brick and re-replicates its shard,
+	// returning the modeled recovery duration.
+	RestartBrick(name string) (time.Duration, error)
+}
+
 // Report is one failure observation from a monitor: the failed end-user
 // operation (URL) and the failure type observed.
 type Report struct {
@@ -113,6 +124,11 @@ type Manager struct {
 
 	// Actions is the recovery log.
 	Actions []Action
+	// Bricks, when set, lets RM restart dead session-state bricks. It is
+	// consulted before the component policy: a dead brick is the cheapest
+	// explanation for widespread session failures, and restarting it is
+	// as cheap as an EJB µRB.
+	Bricks BrickStore
 	// OnRecoveryStart/End let the load balancer be notified for
 	// failover, as the paper's RM notifies LB.
 	OnRecoveryStart func()
@@ -152,6 +168,21 @@ func (m *Manager) Report(r Report) {
 	for _, comp := range path {
 		m.scores[comp] += m.weightOf(comp, r.Op)
 	}
+	if name, score := m.top(); score >= m.cfg.Threshold {
+		m.trigger(name)
+	}
+}
+
+// ReportBrickFailure feeds one brick heartbeat-loss observation into the
+// manager (the SSM's brick monitors send these the way the paper's
+// client monitors send UDP failure reports). Brick names score like
+// components; crossing the threshold triggers recovery, and the brick
+// path in recover restarts the dead brick.
+func (m *Manager) ReportBrickFailure(brick string) {
+	if m.pendingRecovery || m.target.Recovering() || m.kernel.Now() < m.mutedUntil || m.humanNotified {
+		return
+	}
+	m.scores[brick] += m.cfg.SessionWeight
 	if name, score := m.top(); score >= m.cfg.Threshold {
 		m.trigger(name)
 	}
@@ -201,6 +232,18 @@ func (m *Manager) trigger(name string) {
 // within the escalation window moves one level up: EJB µRB → WAR → app →
 // process → node → human.
 func (m *Manager) recover(name string) {
+	// Dead session-state bricks come first: they are the cheapest
+	// recovery (a brick µRB plus re-replication) and the likeliest cause
+	// of store-wide session failures. If the diagnosis was wrong, the
+	// failures persist and the next trigger walks the component policy.
+	// ForceScope wins, though — the legacy "restart the JVM for
+	// everything" baseline must not quietly benefit from brick recovery.
+	if m.Bricks != nil && m.cfg.ForceScope == 0 {
+		if dead := m.Bricks.DeadBricks(); len(dead) > 0 {
+			m.recoverBricks(dead)
+			return
+		}
+	}
 	level := 0
 	if name == m.lastTarget && m.kernel.Now()-m.lastDone <= m.cfg.EscalationWindow {
 		level = m.lastLevel + 1
@@ -257,6 +300,30 @@ func (m *Manager) recover(name string) {
 	m.finishRecovery(name, scope, rb, err)
 }
 
+// recoverBricks restarts every dead brick (they recover in parallel, so
+// the modeled duration is the slowest restart) and logs one EJB-scope
+// action with the bricks as members.
+func (m *Manager) recoverBricks(dead []string) {
+	m.lastTarget = "ssm-bricks"
+	m.lastLevel = 0
+	if m.OnRecoveryStart != nil {
+		m.OnRecoveryStart()
+	}
+	var longest time.Duration
+	for _, brick := range dead {
+		d, err := m.Bricks.RestartBrick(brick)
+		if err != nil {
+			m.finishRecovery("ssm-bricks", core.ScopeComponent, nil, err)
+			return
+		}
+		if d > longest {
+			longest = d
+		}
+	}
+	rb := &core.Reboot{Scope: core.ScopeComponent, Members: dead, Reinit: longest}
+	m.finishRecovery("ssm-bricks", core.ScopeComponent, rb, nil)
+}
+
 func (m *Manager) finishRecovery(name string, scope core.Scope, rb *core.Reboot, err error) {
 	if err != nil {
 		m.humanNotified = true
@@ -270,10 +337,12 @@ func (m *Manager) finishRecovery(name string, scope core.Scope, rb *core.Reboot,
 		return
 	}
 	m.Actions = append(m.Actions, Action{At: m.kernel.Now(), Target: name, Scope: scope, Reboot: rb})
-	m.kernel.Schedule(rb.Duration()+m.cfg.Grace, func() {
+	// Recovery completes when the reboot does; residual failure reports
+	// stay muted for the Grace window after that.
+	m.kernel.Schedule(rb.Duration(), func() {
 		m.pendingRecovery = false
 		m.lastDone = m.kernel.Now()
-		m.mutedUntil = m.kernel.Now()
+		m.mutedUntil = m.kernel.Now() + m.cfg.Grace
 		if m.OnRecoveryEnd != nil {
 			m.OnRecoveryEnd()
 		}

@@ -160,6 +160,143 @@ func TestReportsMutedDuringRecovery(t *testing.T) {
 	}
 }
 
+func TestGraceMutesResidualReportsAfterRecovery(t *testing.T) {
+	// Regression: finishRecovery used to set mutedUntil = now(), so the
+	// Grace window never muted anything — the first residual failure
+	// report after a recovery immediately re-triggered diagnosis.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{cost: 500 * time.Millisecond}
+	m := NewManager(k, fr, Config{Threshold: 1, Grace: 5 * time.Second})
+	m.Report(Report{Op: ebid.ViewItem})
+	k.RunFor(time.Second) // recovery completes at 500ms; muted until 5.5s
+	if len(fr.micro) != 1 {
+		t.Fatalf("recoveries = %d, want 1", len(fr.micro))
+	}
+	m.Report(Report{Op: ebid.ViewItem}) // residual failure at t=1s
+	k.RunFor(time.Second)
+	if len(fr.micro) != 1 {
+		t.Fatalf("residual report inside the grace window re-triggered recovery (got %d)", len(fr.micro))
+	}
+	k.RunFor(10 * time.Second) // well past mutedUntil
+	m.Report(Report{Op: ebid.ViewItem})
+	k.Drain()
+	// The repeat recovery escalates (same target within the window), so
+	// count recovery actions rather than µRBs.
+	if len(m.Actions) != 2 {
+		t.Fatalf("report after the grace window was ignored (actions = %+v)", m.Actions)
+	}
+}
+
+// fakeBricks is a BrickStore double: bricks die and restart by name.
+type fakeBricks struct {
+	dead      []string
+	restarted []string
+	fail      bool
+}
+
+func (f *fakeBricks) DeadBricks() []string { return append([]string(nil), f.dead...) }
+
+func (f *fakeBricks) RestartBrick(name string) (time.Duration, error) {
+	if f.fail {
+		return 0, core.ErrNotBound
+	}
+	f.restarted = append(f.restarted, name)
+	for i, d := range f.dead {
+		if d == name {
+			f.dead = append(f.dead[:i], f.dead[i+1:]...)
+			break
+		}
+	}
+	return 2 * time.Second, nil
+}
+
+func TestBrickFailureRecoversBrickLikeAnEJB(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	fb := &fakeBricks{dead: []string{"ssm/s0-r1"}}
+	m := NewManager(k, fr, Config{Threshold: 3})
+	m.Bricks = fb
+	for i := 0; i < 3; i++ {
+		m.ReportBrickFailure("ssm/s0-r1")
+	}
+	k.Drain()
+	if len(fb.restarted) != 1 || fb.restarted[0] != "ssm/s0-r1" {
+		t.Fatalf("restarted = %v, want the dead brick", fb.restarted)
+	}
+	if len(fr.micro) != 0 || len(fr.scopes) != 0 {
+		t.Fatalf("RM rebooted application components (%v/%v) for a brick failure", fr.micro, fr.scopes)
+	}
+	if len(m.Actions) != 1 || m.Actions[0].Target != "ssm-bricks" || m.Actions[0].Scope != core.ScopeComponent {
+		t.Fatalf("actions = %+v", m.Actions)
+	}
+	if got := m.Actions[0].Reboot.Duration(); got != 2*time.Second {
+		t.Fatalf("modeled brick recovery = %v, want 2s", got)
+	}
+}
+
+func TestDeadBrickPreemptsComponentPolicy(t *testing.T) {
+	// Session failures diagnosed onto a component still recover the dead
+	// brick first — the cheapest explanation for store-wide failures.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	fb := &fakeBricks{dead: []string{"ssm/s2-r0"}}
+	m := NewManager(k, fr, Config{Threshold: 3})
+	m.Bricks = fb
+	for i := 0; i < 3; i++ {
+		m.Report(Report{Op: ebid.MakeBid, Kind: "http-error"})
+	}
+	k.Drain()
+	if len(fb.restarted) != 1 {
+		t.Fatalf("dead brick not restarted: %v", fb.restarted)
+	}
+	if len(fr.micro) != 0 {
+		t.Fatalf("component µRB ran before brick recovery: %v", fr.micro)
+	}
+	// With the brick healthy again, recurring failures walk the normal
+	// component policy.
+	k.RunFor(time.Minute)
+	for i := 0; i < 3; i++ {
+		m.Report(Report{Op: ebid.MakeBid, Kind: "http-error"})
+	}
+	k.Drain()
+	if len(fr.micro) != 1 || fr.micro[0][0] != ebid.MakeBid {
+		t.Fatalf("component recovery after brick heal = %v", fr.micro)
+	}
+}
+
+func TestForceScopeOverridesBrickRecovery(t *testing.T) {
+	// The legacy "restart the JVM for everything" baseline (ForceScope)
+	// must not quietly use the cheap brick recovery path.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	fb := &fakeBricks{dead: []string{"ssm/s0-r0"}}
+	m := NewManager(k, fr, Config{Threshold: 1, ForceScope: core.ScopeProcess})
+	m.Bricks = fb
+	m.ReportBrickFailure("ssm/s0-r0")
+	k.Drain()
+	if len(fb.restarted) != 0 {
+		t.Fatalf("ForceScope baseline restarted bricks: %v", fb.restarted)
+	}
+	if len(fr.scopes) != 1 || fr.scopes[0] != core.ScopeProcess {
+		t.Fatalf("scopes = %v, want the forced process restart", fr.scopes)
+	}
+}
+
+func TestBrickRestartFailureNotifiesHuman(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	fb := &fakeBricks{dead: []string{"ssm/s0-r0"}, fail: true}
+	var human []string
+	m := NewManager(k, fr, Config{Threshold: 1})
+	m.Bricks = fb
+	m.NotifyHuman = func(r string) { human = append(human, r) }
+	m.ReportBrickFailure("ssm/s0-r0")
+	k.Drain()
+	if len(human) != 1 {
+		t.Fatalf("human notifications = %v", human)
+	}
+}
+
 func TestDetectionDelayPostponesRecovery(t *testing.T) {
 	k := sim.NewKernel(1)
 	fr := &fakeRebooter{}

@@ -1,0 +1,488 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClusterConfig parameterizes an SSMCluster.
+type ClusterConfig struct {
+	// Shards is the number of hash shards S (default 4).
+	Shards int
+	// Replicas is the number of brick replicas N per shard (default 3).
+	Replicas int
+	// WriteQuorum is W: a write succeeds once W of the shard's N replicas
+	// acknowledge it (default 2). W ≤ N is required.
+	WriteQuorum int
+	// LeaseTTL is how long a written session stays alive without renewal
+	// (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Now supplies virtual time for lease accounting; nil makes leases
+	// effectively immortal (useful for unit tests).
+	Now func() time.Duration
+}
+
+func (c *ClusterConfig) fill() error {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.WriteQuorum == 0 {
+		c.WriteQuorum = 2
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.Now == nil {
+		c.Now = func() time.Duration { return 0 }
+	}
+	if c.Shards < 1 || c.Replicas < 1 {
+		return fmt.Errorf("session: cluster needs ≥1 shard and ≥1 replica, got %d×%d", c.Shards, c.Replicas)
+	}
+	if c.WriteQuorum < 1 || c.WriteQuorum > c.Replicas {
+		return fmt.Errorf("session: write quorum %d outside 1..%d", c.WriteQuorum, c.Replicas)
+	}
+	return nil
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// hashRing maps session ids onto shards via consistent hashing. The ring
+// is immutable after construction, so lookups are lock-free.
+type hashRing struct {
+	points []ringPoint
+}
+
+// ringVirtualNodes is the number of virtual points per shard; enough to
+// spread load within a few percent of uniform.
+const ringVirtualNodes = 64
+
+func newHashRing(shards int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, shards*ringVirtualNodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringVirtualNodes; v++ {
+			h := crc32.ChecksumIEEE([]byte(fmt.Sprintf("shard-%d#%d", s, v)))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+func (r *hashRing) lookup(id string) int {
+	h := crc32.ChecksumIEEE([]byte(id))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// SSMCluster implements Store over a brick cluster: S consistent-hash
+// shards × N replica Bricks, write-to-W-of-N and read-from-any-live-
+// replica. Session state survives brick crashes as long as each shard
+// keeps one live replica holding the data; writes need W live replicas.
+// Reads renew the lease and repair the entry onto live replicas that
+// missed it (read-repair), so replicas re-converge after transient brick
+// outages even before explicit re-replication runs.
+type SSMCluster struct {
+	cfg    ClusterConfig
+	ring   *hashRing
+	shards [][]*Brick // [shard][replica]
+
+	// version orders writes and deletes cluster-wide; replicas keep the
+	// newest version they have seen, so stale repair data loses races.
+	version atomic.Uint64
+
+	mu sync.Mutex
+	// onRestart callbacks fire after a brick restart + re-replication
+	// (the fault injector uses this to clear brick faults).
+	onRestart []func(*Brick)
+	// slowBypasses counts reads served by a healthy replica while a slow
+	// one was routed around.
+	slowBypasses int
+}
+
+// NewSSMCluster builds a brick cluster from cfg; it panics only on
+// impossible configurations (use cfg defaults for zero fields).
+func NewSSMCluster(cfg ClusterConfig) (*SSMCluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &SSMCluster{cfg: cfg, ring: newHashRing(cfg.Shards)}
+	c.shards = make([][]*Brick, cfg.Shards)
+	for s := range c.shards {
+		c.shards[s] = make([]*Brick, cfg.Replicas)
+		for r := range c.shards[s] {
+			c.shards[s][r] = newBrick(s, r)
+		}
+	}
+	return c, nil
+}
+
+// Name implements Store.
+func (c *SSMCluster) Name() string { return "SSMCluster" }
+
+// SurvivesProcessRestart implements Store: brick state lives off-node.
+func (c *SSMCluster) SurvivesProcessRestart() bool { return true }
+
+// Config returns the cluster geometry.
+func (c *SSMCluster) Config() ClusterConfig { return c.cfg }
+
+// ShardFor reports which shard a session id hashes to (diagnostic aid).
+func (c *SSMCluster) ShardFor(id string) int { return c.ring.lookup(id) }
+
+// Bricks returns every brick, ordered by shard then replica.
+func (c *SSMCluster) Bricks() []*Brick {
+	var out []*Brick
+	for _, shard := range c.shards {
+		out = append(out, shard...)
+	}
+	return out
+}
+
+// BrickByName finds a brick by its "ssm/s<shard>-r<replica>" name.
+func (c *SSMCluster) BrickByName(name string) (*Brick, error) {
+	for _, shard := range c.shards {
+		for _, b := range shard {
+			if b.Name() == name {
+				return b, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("session: no brick named %q", name)
+}
+
+// Write implements Store: marshal once, checksum, then write to the W-of-N
+// quorum of the id's shard.
+func (c *SSMCluster) Write(s *Session) error {
+	if s == nil || s.ID == "" {
+		return errors.New("session: Write requires a session with an ID")
+	}
+	blob, err := marshalSession(s)
+	if err != nil {
+		return err
+	}
+	e := ssmEntry{
+		blob:     blob,
+		checksum: crc32.ChecksumIEEE(blob),
+		expires:  c.cfg.Now() + c.cfg.LeaseTTL,
+		version:  c.version.Add(1),
+	}
+	shard := c.shards[c.ring.lookup(s.ID)]
+	if err := c.quorumReachable(shard); err != nil {
+		return err
+	}
+	acks := 0
+	for _, b := range shard {
+		if b.put(s.ID, e) == nil {
+			acks++
+		}
+	}
+	if acks < c.cfg.WriteQuorum {
+		return fmt.Errorf("%w: shard %d acked %d/%d replicas (quorum %d)",
+			ErrDown, shard[0].Shard(), acks, len(shard), c.cfg.WriteQuorum)
+	}
+	return nil
+}
+
+// quorumReachable pre-checks that enough replicas are live for a mutation
+// to reach its W-of-N quorum, so a doomed mutation does not dirty the
+// survivors first.
+func (c *SSMCluster) quorumReachable(shard []*Brick) error {
+	live := 0
+	for _, b := range shard {
+		if b.Up() {
+			live++
+		}
+	}
+	if live < c.cfg.WriteQuorum {
+		return fmt.Errorf("%w: shard %d has %d/%d live replicas (quorum %d)",
+			ErrDown, shard[0].Shard(), live, len(shard), c.cfg.WriteQuorum)
+	}
+	return nil
+}
+
+// Read implements Store: it returns the session from any live replica,
+// preferring healthy bricks over slow ones, renewing the lease on every
+// replica and read-repairing the ones observed missing or corrupt. A
+// replica whose copy fails its checksum discards it and the read falls
+// through to the next replica, so single-replica corruption is masked
+// and healed. Renewal never rewrites blobs and repair is versioned, so
+// a read racing a newer write or a delete cannot clobber either.
+func (c *SSMCluster) Read(id string) (*Session, error) {
+	now := c.cfg.Now()
+	shard := c.shards[c.ring.lookup(id)]
+
+	order := make([]*Brick, 0, len(shard))
+	slow := 0
+	for _, b := range shard {
+		if b.Slow() {
+			slow++
+			continue
+		}
+		order = append(order, b)
+	}
+	if slow > 0 { // degraded replicas are the readers of last resort
+		for _, b := range shard {
+			if b.Slow() {
+				order = append(order, b)
+			}
+		}
+	}
+
+	live := 0
+	sawCorrupt := false
+	needRepair := make([]*Brick, 0, len(order))
+	for _, b := range order {
+		e, err := b.get(id, now)
+		switch {
+		case err == nil:
+			if slow > 0 && !b.Slow() {
+				c.mu.Lock()
+				c.slowBypasses++
+				c.mu.Unlock()
+			}
+			e.expires = now + c.cfg.LeaseTTL
+			for _, peer := range order {
+				peer.renew(id, e.expires)
+			}
+			// Repair the replicas that demonstrably lacked the entry;
+			// the versioned put drops the copy if they raced ahead.
+			for _, peer := range needRepair {
+				_ = peer.put(id, e)
+			}
+			return unmarshalSession(e.blob)
+		case errors.Is(err, ErrDown):
+			// Skip and try the next replica.
+		case errors.Is(err, ErrCorrupted):
+			live++
+			sawCorrupt = true
+			needRepair = append(needRepair, b)
+		default: // ErrNotFound
+			live++
+			needRepair = append(needRepair, b)
+		}
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("%w: shard %d has no live replica", ErrDown, shard[0].Shard())
+	}
+	if sawCorrupt {
+		return nil, fmt.Errorf("%w: %s (all surviving copies corrupt)", ErrCorrupted, id)
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// Delete implements Store: like writes, deletes need the W-of-N quorum so
+// a majority of replicas agree the session is gone. Each replica keeps a
+// versioned tombstone for the lease TTL so stale repair data cannot
+// resurrect the session.
+func (c *SSMCluster) Delete(id string) error {
+	shard := c.shards[c.ring.lookup(id)]
+	if err := c.quorumReachable(shard); err != nil {
+		return err
+	}
+	version := c.version.Add(1)
+	tombExpires := c.cfg.Now() + c.cfg.LeaseTTL
+	acks := 0
+	for _, b := range shard {
+		if b.del(id, version, tombExpires) == nil {
+			acks++
+		}
+	}
+	if acks < c.cfg.WriteQuorum {
+		return fmt.Errorf("%w: shard %d acked %d/%d replicas (quorum %d)",
+			ErrDown, shard[0].Shard(), acks, len(shard), c.cfg.WriteQuorum)
+	}
+	return nil
+}
+
+// Len implements Store: the number of distinct sessions held by live
+// replicas (entries awaiting lease GC are counted, as in SSM).
+func (c *SSMCluster) Len() int {
+	n := 0
+	for _, shard := range c.shards {
+		seen := map[string]bool{}
+		for _, b := range shard {
+			for _, id := range b.ids() {
+				seen[id] = true
+			}
+		}
+		n += len(seen)
+	}
+	return n
+}
+
+// SessionIDs returns every distinct live session id, sorted.
+func (c *SSMCluster) SessionIDs() []string {
+	seen := map[string]bool{}
+	for _, shard := range c.shards {
+		for _, b := range shard {
+			for _, id := range b.ids() {
+				seen[id] = true
+			}
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ReapExpired garbage-collects lapsed leases on every brick and returns
+// how many distinct sessions were collected.
+func (c *SSMCluster) ReapExpired() int {
+	now := c.cfg.Now()
+	n := 0
+	for _, shard := range c.shards {
+		seen := map[string]bool{}
+		for _, b := range shard {
+			for _, id := range b.reap(now) {
+				seen[id] = true
+			}
+		}
+		n += len(seen)
+	}
+	return n
+}
+
+// Discarded reports how many corrupted entries bricks have discarded.
+func (c *SSMCluster) Discarded() int {
+	n := 0
+	for _, shard := range c.shards {
+		for _, b := range shard {
+			n += b.Discarded()
+		}
+	}
+	return n
+}
+
+// SlowBypasses reports reads served by a healthy replica while a slow one
+// was routed around.
+func (c *SSMCluster) SlowBypasses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slowBypasses
+}
+
+// CorruptBits flips a bit in the first live replica holding id — the
+// Table 2 "corrupt data inside SSM" fault, scoped to one brick. The next
+// read of the damaged replica discards the copy and falls through to a
+// healthy peer.
+func (c *SSMCluster) CorruptBits(id string) error {
+	for _, b := range c.shards[c.ring.lookup(id)] {
+		if b.corruptBits(id) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// DeadBricks lists the names of crashed bricks (recovery polls this the
+// way the paper's RM consumes heartbeat-loss reports).
+func (c *SSMCluster) DeadBricks() []string {
+	var out []string
+	for _, shard := range c.shards {
+		for _, b := range shard {
+			if !b.Up() {
+				out = append(out, b.Name())
+			}
+		}
+	}
+	return out
+}
+
+// CrashBrick kills the named brick, losing its replica state.
+func (c *SSMCluster) CrashBrick(name string) error {
+	b, err := c.BrickByName(name)
+	if err != nil {
+		return err
+	}
+	b.Crash()
+	return nil
+}
+
+// SetBrickSlow marks the named brick degraded (or heals it).
+func (c *SSMCluster) SetBrickSlow(name string, slow bool) error {
+	b, err := c.BrickByName(name)
+	if err != nil {
+		return err
+	}
+	b.SetSlow(slow)
+	return nil
+}
+
+// OnBrickRestart registers a callback fired after a brick restart and
+// re-replication complete.
+func (c *SSMCluster) OnBrickRestart(fn func(*Brick)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onRestart = append(c.onRestart, fn)
+}
+
+// RestartBrick reboots a crashed brick and re-replicates its shard into
+// it from the surviving replicas (newest lease wins), restoring full
+// N-way redundancy. It returns the modeled restart duration so recovery
+// managers can account for it on the simulation timeline; the store
+// itself is consistent as soon as RestartBrick returns.
+func (c *SSMCluster) RestartBrick(name string) (time.Duration, error) {
+	b, err := c.BrickByName(name)
+	if err != nil {
+		return 0, err
+	}
+	b.Restart()
+	merged := map[string]ssmEntry{}
+	mergedTombs := map[string]tombstone{}
+	for _, peer := range c.shards[b.Shard()] {
+		if peer == b || !peer.Up() {
+			continue
+		}
+		entries, tombs := peer.snapshot()
+		for id, e := range entries {
+			// Never replicate a copy that fails its checksum: merging
+			// corrupt data would spread the damage until it could
+			// outnumber (and eventually replace) every good copy.
+			if crc32.ChecksumIEEE(e.blob) != e.checksum {
+				continue
+			}
+			if cur, ok := merged[id]; !ok || e.version > cur.version ||
+				(e.version == cur.version && e.expires > cur.expires) {
+				merged[id] = e
+			}
+		}
+		for id, t := range tombs {
+			if cur, ok := mergedTombs[id]; !ok || t.version > cur.version {
+				mergedTombs[id] = t
+			}
+		}
+	}
+	// Tombstones first: the versioned put then refuses any snapshot entry
+	// that a concurrent delete has already superseded.
+	b.adoptTombs(mergedTombs)
+	for id, e := range merged {
+		_ = b.put(id, e)
+	}
+	c.mu.Lock()
+	callbacks := make([]func(*Brick), len(c.onRestart))
+	copy(callbacks, c.onRestart)
+	c.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(b)
+	}
+	return BrickRestartTime, nil
+}
+
+var _ Store = (*SSMCluster)(nil)

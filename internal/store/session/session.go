@@ -8,14 +8,20 @@
 //   - FastS: an in-process repository (the paper built it inside JBoss's
 //     embedded web server). Isolated behind compiler-enforced barriers, it
 //     is fast, survives microreboots, but is lost on a process restart.
+//     Internally it is striped — one lock per stripe — so concurrent
+//     readers on different sessions never contend on a single mutex.
 //   - SSM: a clustered session-state store on separate machines (Ling et
 //     al., NSDI'04), lease-based and checksummed. Slower (marshalling +
 //     network), but survives µRBs, process restarts, and node reboots;
 //     corrupted objects are detected via checksum and discarded
 //     automatically; orphaned state is garbage-collected when its lease
 //     expires.
+//   - SSMCluster (cluster.go): the full brick architecture of Ling's SSM —
+//     S consistent-hash shards × N replica Bricks with write-W-of-N and
+//     read-from-any-live-replica quorum, so session state survives brick
+//     (node) crashes, not just process restarts.
 //
-// Both implement the Store interface so the application is oblivious to
+// All implement the Store interface so the application is oblivious to
 // which one backs it — the property that makes recovery decoupling work.
 package session
 
@@ -81,16 +87,51 @@ type Store interface {
 	Name() string
 }
 
-// FastS is the in-process store. The zero value is not usable; use
-// NewFastS.
-type FastS struct {
+// DefaultStripes is the stripe count used by NewFastS. Sixteen stripes
+// keep lock contention negligible for the worker counts the node model
+// uses while costing only a few hundred bytes of overhead.
+const DefaultStripes = 16
+
+// fastStripe is one lock-protected shard of FastS.
+type fastStripe struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
 }
 
-// NewFastS returns an empty in-process session store.
-func NewFastS() *FastS {
-	return &FastS{sessions: map[string]*Session{}}
+// FastS is the in-process store, striped so concurrent readers of
+// different sessions do not serialize on one lock. The zero value is not
+// usable; use NewFastS.
+type FastS struct {
+	stripes []*fastStripe
+}
+
+// NewFastS returns an empty in-process session store with DefaultStripes
+// stripes.
+func NewFastS() *FastS { return NewFastSStripes(DefaultStripes) }
+
+// NewFastSStripes returns an empty store with n lock stripes (n < 1 is
+// treated as 1).
+func NewFastSStripes(n int) *FastS {
+	if n < 1 {
+		n = 1
+	}
+	f := &FastS{stripes: make([]*fastStripe, n)}
+	for i := range f.stripes {
+		f.stripes[i] = &fastStripe{sessions: map[string]*Session{}}
+	}
+	return f
+}
+
+// stripe maps a session id onto its lock stripe. Inline FNV-1a: hashing
+// must not allocate (a []byte conversion would), since it runs on every
+// store operation.
+func (f *FastS) stripe(id string) *fastStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return f.stripes[h%uint32(len(f.stripes))]
 }
 
 // Name implements Store.
@@ -99,11 +140,15 @@ func (f *FastS) Name() string { return "FastS" }
 // SurvivesProcessRestart implements Store: FastS lives inside the process.
 func (f *FastS) SurvivesProcessRestart() bool { return false }
 
+// Stripes reports the stripe count (diagnostic aid).
+func (f *FastS) Stripes() int { return len(f.stripes) }
+
 // Read implements Store.
 func (f *FastS) Read(id string) (*Session, error) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	s, ok := f.sessions[id]
+	st := f.stripe(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -115,35 +160,44 @@ func (f *FastS) Write(s *Session) error {
 	if s == nil || s.ID == "" {
 		return errors.New("session: Write requires a session with an ID")
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.sessions[s.ID] = s.Clone()
+	st := f.stripe(s.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sessions[s.ID] = s.Clone()
 	return nil
 }
 
 // Delete implements Store.
 func (f *FastS) Delete(id string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	delete(f.sessions, id)
+	st := f.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.sessions, id)
 	return nil
 }
 
 // Len implements Store.
 func (f *FastS) Len() int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return len(f.sessions)
+	n := 0
+	for _, st := range f.stripes {
+		st.mu.RLock()
+		n += len(st.sessions)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // LoseAll simulates the process restart that destroys FastS contents —
 // the cause of the post-recovery failures in Figure 1's process-restart
 // run. It returns how many sessions were lost.
 func (f *FastS) LoseAll() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := len(f.sessions)
-	f.sessions = map[string]*Session{}
+	n := 0
+	for _, st := range f.stripes {
+		st.mu.Lock()
+		n += len(st.sessions)
+		st.sessions = map[string]*Session{}
+		st.mu.Unlock()
+	}
 	return n
 }
 
@@ -152,9 +206,10 @@ func (f *FastS) LoseAll() int {
 // one of "null", "invalid", "wrong". It returns an error if the session
 // does not exist.
 func (f *FastS) Corrupt(id, mode string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	s, ok := f.sessions[id]
+	st := f.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -174,11 +229,13 @@ func (f *FastS) Corrupt(id, mode string) error {
 
 // IDs returns the stored session ids in sorted order (test/diagnostic aid).
 func (f *FastS) IDs() []string {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	ids := make([]string, 0, len(f.sessions))
-	for id := range f.sessions {
-		ids = append(ids, id)
+	var ids []string
+	for _, st := range f.stripes {
+		st.mu.RLock()
+		for id := range st.sessions {
+			ids = append(ids, id)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(ids)
 	return ids
@@ -189,6 +246,11 @@ type ssmEntry struct {
 	blob     []byte
 	checksum uint32
 	expires  time.Duration
+	// version orders writes and deletes cluster-wide (SSMCluster stamps
+	// it from a monotonic counter; the single-node SSM leaves it 0). A
+	// replica never lets an older version overwrite a newer one, so a
+	// stale read-repair cannot undo a concurrent write.
+	version uint64
 }
 
 // SSM is the clustered, lease-based store. Entries are stored marshalled

@@ -59,7 +59,7 @@ func TestFastSBasics(t *testing.T) { testStoreBasics(t, NewFastS()) }
 func TestSSMBasics(t *testing.T)   { testStoreBasics(t, NewSSM(nil, 0)) }
 
 func TestIsolationFromCallerMutation(t *testing.T) {
-	for _, s := range []Store{NewFastS(), NewSSM(nil, 0)} {
+	for _, s := range []Store{NewFastS(), NewSSM(nil, 0), mustCluster(t, 4, 3, 2, nil, 0)} {
 		sess := sampleSession("x")
 		if err := s.Write(sess); err != nil {
 			t.Fatal(err)
@@ -274,7 +274,7 @@ func TestPropertySSMRoundTrip(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	for _, s := range []Store{NewFastS(), NewSSM(nil, 0)} {
+	for _, s := range []Store{NewFastS(), NewSSM(nil, 0), mustCluster(t, 4, 3, 2, nil, 0)} {
 		var wg sync.WaitGroup
 		for w := 0; w < 8; w++ {
 			wg.Add(1)
