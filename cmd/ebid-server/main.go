@@ -4,13 +4,23 @@
 //
 // Usage:
 //
-//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file]
+//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file] [-reap-interval D]
 //
 // Try it:
 //
 //	curl localhost:8080/ebid/Authenticate?user=3
 //	curl -X POST 'localhost:8080/admin/microreboot?component=ViewItem'
 //	curl -i localhost:8080/ebid/ViewItem?item=1   # 503 + Retry-After while recovering
+//
+// With -store ssm-cluster the brick ring is elastic at runtime:
+//
+//	curl -X POST localhost:8080/admin/ssm/addshard
+//	curl -X POST 'localhost:8080/admin/ssm/removeshard?shard=0'
+//	curl localhost:8080/admin/ssm/elastic
+//
+// A background migrator streams entries to their new owner shards after
+// every ring change, and a lease reaper garbage-collects lapsed sessions
+// on the SSM stores every -reap-interval.
 package main
 
 import (
@@ -35,6 +45,10 @@ func main() {
 	users := flag.Int("users", 250, "dataset users")
 	items := flag.Int("items", 3300, "dataset items")
 	walPath := flag.String("wal", "", "mirror the database WAL to this file")
+	reapInterval := flag.Duration("reap-interval", time.Minute,
+		"how often the lease reaper garbage-collects expired SSM sessions (0 disables)")
+	migrateInterval := flag.Duration("migrate-interval", 100*time.Millisecond,
+		"ssm-cluster: how often the background migrator advances after a ring change")
 	flag.Parse()
 
 	var wal *db.WAL
@@ -57,11 +71,13 @@ func main() {
 	start := time.Now()
 	clock := func() time.Duration { return time.Since(start) }
 	var store session.Store
+	var cl *session.SSMCluster
 	switch *storeKind {
 	case "ssm":
 		store = session.NewSSM(clock, session.DefaultLeaseTTL)
 	case "ssm-cluster":
-		cl, err := session.NewSSMCluster(session.ClusterConfig{
+		var err error
+		cl, err = session.NewSSMCluster(session.ClusterConfig{
 			Shards:      *shards,
 			Replicas:    *replicas,
 			WriteQuorum: *writeQuorum,
@@ -85,7 +101,52 @@ func main() {
 		log.Fatalf("deploy: %v", err)
 	}
 	log.Printf("deployed eBid: %d components, session store %s", len(app.Server.Components()), store.Name())
+
+	// Background lease reaper: ReapExpired finally runs outside the
+	// simulations, completing the lease story for the live SSM stores
+	// (FastS has no leases to reap).
+	if reaper, ok := store.(interface{ ReapExpired() int }); ok && *reapInterval > 0 {
+		go func() {
+			for range time.Tick(*reapInterval) {
+				if n := reaper.ReapExpired(); n > 0 {
+					log.Printf("lease reaper: collected %d expired sessions", n)
+				}
+			}
+		}()
+		log.Printf("lease reaper running every %v", *reapInterval)
+	}
+	// Background migrator: after an /admin/ssm/addshard or removeshard
+	// ring change, stream entries to their new owner shards. A step is a
+	// cheap no-op while the ring is stable. Without a migrator a ring
+	// change could never drain (and would wedge further resizes), so
+	// disabling it disables the elastic control surface too.
+	if cl != nil && *migrateInterval <= 0 {
+		log.Printf("migrator disabled (-migrate-interval %v): elastic ring controls are off", *migrateInterval)
+		cl = nil
+	}
+	if cl != nil {
+		go func() {
+			migrating := false
+			for range time.Tick(*migrateInterval) {
+				moved, done := cl.MigrateStep(256)
+				switch {
+				case !done && !migrating:
+					migrating = true
+					log.Printf("migrator: ring change v%d draining", cl.RingVersion())
+				case done && migrating:
+					migrating = false
+					st := cl.Elastic()
+					log.Printf("migrator: ring v%d converged (%d entries moved so far, shards %v)",
+						st.RingVersion, st.Migrated, st.Shards)
+				case moved > 0:
+					log.Printf("migrator: moved %d entries", moved)
+				}
+			}
+		}()
+	}
+
 	front := httpfront.New(app)
+	front.Cluster = cl
 	log.Printf("serving on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, front.Handler()))
 }

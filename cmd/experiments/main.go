@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only table2,figure1,...]
+//	experiments [-quick] [-seed N] [-only table2,figure1,...] [-cluster-store fasts|ssm-cluster]
 package main
 
 import (
@@ -21,9 +21,17 @@ func main() {
 	quick := flag.Bool("quick", false, "run shortened experiments (seconds instead of minutes)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	clusterStore := flag.String("cluster-store", "fasts",
+		"session store shared by the cluster experiments (figures 3/4, section61): fasts or ssm-cluster")
 	flag.Parse()
+	switch *clusterStore {
+	case "fasts", "ssm", "ssm-cluster":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -cluster-store %q (want fasts, ssm or ssm-cluster)\n", *clusterStore)
+		os.Exit(2)
+	}
 
-	o := experiments.Options{Quick: *quick, Seed: *seed}
+	o := experiments.Options{Quick: *quick, Seed: *seed, ClusterStore: *clusterStore}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -94,6 +102,10 @@ func main() {
 	if run("brickcrash") {
 		section("Brick crash (extension): SSM brick cluster under load")
 		fmt.Println(experiments.FigureBrickCrash(o))
+	}
+	if run("elastic") {
+		section("Elastic ring (extension): shard add/remove under load")
+		fmt.Println(experiments.FigureElastic(o))
 	}
 	if run("section61") {
 		section("Section 6.1")

@@ -28,8 +28,11 @@ type Figure3Result struct{ Rows []Figure3Row }
 
 // Figure3 runs the failover experiment: a µRB-curable fault in the most
 // frequently called component of one node; the load balancer redirects
-// that node's traffic while it recovers (FastS session state is node
-// local, so redirected session requests fail).
+// that node's traffic while it recovers. With the default FastS store,
+// session state is node local, so redirected session requests fail;
+// Options.ClusterStore = "ssm-cluster" reruns the figure with a
+// cross-node SSM brick cluster whose sessions survive the failover (the
+// paper's §6.1 SSM variant).
 func Figure3(o Options) *Figure3Result {
 	sizes := []int{2, 4, 6, 8}
 	if o.Quick {
@@ -58,7 +61,7 @@ func Figure3(o Options) *Figure3Result {
 }
 
 func runFigure3(o Options, nNodes int, useRestart bool) (failed int64, sessionsFailedOver int, total int64) {
-	ce := newClusterEnv(o, nNodes, o.clients(500), useFastS)
+	ce := newClusterEnv(o, nNodes, o.clients(500), o.clusterKind())
 	ce.emulator.Start()
 	warm := o.scale(3 * time.Minute)
 	ce.kernel.RunFor(warm)
@@ -163,7 +166,7 @@ func runFigure4(o Options, nNodes int, useRestart bool) (peak time.Duration, ove
 	// pools are sized so per-node capacity sits just above the doubled
 	// per-node load — the regime the paper's un-admission-controlled
 	// servers operate in.
-	ce := newClusterEnvCfg(o, nNodes, 1000, useFastS, cluster.NodeConfig{Workers: 4, CongestionScale: 400})
+	ce := newClusterEnvCfg(o, nNodes, 1000, o.clusterKind(), cluster.NodeConfig{Workers: 4, CongestionScale: 400})
 	ce.emulator.Start()
 	// Let the system stabilize at the higher load before injecting
 	// (the paper extends the run to 13 minutes for this reason).
@@ -252,7 +255,7 @@ func Section61(o Options, fig1 *Figure1Result, fig3 *Figure3Result) *Section61Re
 	// µRB without failover: same setup as Figure 3 but LB keeps routing
 	// to the recovering node, which serves everything except the
 	// µRB-affected component.
-	ce := newClusterEnv(o, 2, o.clients(500), useFastS)
+	ce := newClusterEnv(o, 2, o.clients(500), o.clusterKind())
 	ce.lb.Failover = false
 	ce.emulator.Start()
 	ce.kernel.RunFor(o.scale(3 * time.Minute))

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ------------------------------------------------ Elastic ring (extension)
+
+// ElasticResult is the elastic-SSM experiment: a two-node cluster shares
+// one SSM brick ring; under full client load a shard is added to the
+// ring and, once its migration converges, one of the original shards is
+// removed and drained. The SSM's elasticity claim predicts both ring
+// changes are invisible to clients: zero sessions lost and zero
+// client-visible request failures, with the background migrator moving
+// entries between shards while the workload keeps running.
+type ElasticResult struct {
+	Nodes                 int
+	ShardsBefore          int
+	Replicas, WriteQuorum int
+
+	// AddedShard / RemovedShard identify the two ring changes.
+	AddedShard, RemovedShard int
+	// RingVersion counts generations: 1 at start, 3 after add + remove.
+	RingVersion uint64
+
+	// SessionsAtAdd is the live population when the shard was added;
+	// LostAtAdd counts those unreadable immediately after the ring change
+	// (dual-read should mask the not-yet-migrated majority).
+	SessionsAtAdd, LostAtAdd int
+	// AddConverged: the migrator finished before the next phase;
+	// MigratedAdd is its cumulative entry count; NewShardEntries is the
+	// new shard's population after converging (non-vacuity check);
+	// LostAfterAdd counts sessions unreadable after convergence.
+	AddConverged    bool
+	MigratedAdd     int
+	NewShardEntries int
+	LostAfterAdd    int
+
+	// The same numbers for the shard-removal drain.
+	SessionsAtRemove, LostAtRemove int
+	RemoveConverged                bool
+	MigratedRemove                 int
+	RetiredBricks                  int
+	LostAfterRemove                int
+
+	// FailuresBefore/FailuresAfter bracket client-visible failures around
+	// the whole elastic window; the delta is the headline number.
+	FailuresBefore, FailuresAfter int64
+	// TotalRequests over the run (for rate context).
+	TotalRequests int64
+}
+
+// FigureElastic runs the elastic-ring experiment: a 2-node cluster on a
+// shared 4×3 W=2 brick ring, a shard added under load, then an original
+// shard removed and drained under load, with a background migrator
+// pumping entries between owners throughout.
+func FigureElastic(o Options) *ElasticResult {
+	ce := newClusterEnvCfg(o, 2, o.clients(500), useSharedCluster, cluster.NodeConfig{})
+	cl := ce.bricks
+	cfg := cl.Config()
+	res := &ElasticResult{
+		Nodes:        2,
+		ShardsBefore: len(cl.ShardIDs()),
+		Replicas:     cfg.Replicas,
+		WriteQuorum:  cfg.WriteQuorum,
+	}
+	// The background migrator: a recurring simulation event, the analog
+	// of the live server's migration goroutine.
+	pumpMigration(ce.kernel, cl, 50*time.Millisecond, 128)
+
+	ce.emulator.Start()
+	ce.kernel.RunFor(o.scale(2 * time.Minute))
+	res.FailuresBefore = ce.recorder.BadOps()
+
+	// --- grow: add a shard under load -----------------------------------
+	idsAtAdd := cl.SessionIDs()
+	res.SessionsAtAdd = len(idsAtAdd)
+	shard, err := cl.AddShard()
+	if err != nil {
+		panic("experiments: AddShard: " + err.Error())
+	}
+	res.AddedShard = shard
+	// Immediately after the ring change nothing has migrated yet: the
+	// dual-read fallback must keep every session reachable.
+	for _, id := range idsAtAdd {
+		if _, err := cl.Read(id); err != nil {
+			res.LostAtAdd++
+		}
+	}
+	ce.kernel.RunFor(o.scale(2 * time.Minute))
+	res.AddConverged = !cl.Migrating()
+	res.MigratedAdd = cl.MigratedEntries()
+	for _, b := range cl.Bricks() {
+		if b.Shard() == shard {
+			res.NewShardEntries += b.Len()
+		}
+	}
+	for _, id := range cl.SessionIDs() {
+		if _, err := cl.Read(id); err != nil {
+			res.LostAfterAdd++
+		}
+	}
+
+	// --- shrink: drain and remove an original shard ---------------------
+	idsAtRemove := cl.SessionIDs()
+	res.SessionsAtRemove = len(idsAtRemove)
+	res.RemovedShard = 0
+	if err := cl.RemoveShard(0); err != nil {
+		panic("experiments: RemoveShard: " + err.Error())
+	}
+	for _, id := range idsAtRemove {
+		if _, err := cl.Read(id); err != nil {
+			res.LostAtRemove++
+		}
+	}
+	ce.kernel.RunFor(o.scale(2 * time.Minute))
+	res.RemoveConverged = !cl.Migrating()
+	res.MigratedRemove = cl.MigratedEntries() - res.MigratedAdd
+	res.RetiredBricks = len(cl.RetiredBricks())
+	for _, id := range cl.SessionIDs() {
+		if _, err := cl.Read(id); err != nil {
+			res.LostAfterRemove++
+		}
+	}
+
+	ce.emulator.Stop()
+	ce.emulator.FlushActions()
+	ce.kernel.RunFor(30 * time.Second)
+	res.FailuresAfter = ce.recorder.BadOps()
+	res.TotalRequests = ce.recorder.GoodOps() + ce.recorder.BadOps()
+	res.RingVersion = cl.RingVersion()
+	return res
+}
+
+// String renders the elastic-ring summary.
+func (r *ElasticResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Elastic SSM ring (extension): %d-node cluster on a shared %d-shard × %d brick ring, W=%d\n",
+		r.Nodes, r.ShardsBefore, r.Replicas, r.WriteQuorum)
+	fmt.Fprintf(&b, "grow:   added shard %d with %d live sessions; lost at ring change: %d (claim: 0)\n",
+		r.AddedShard, r.SessionsAtAdd, r.LostAtAdd)
+	if r.AddConverged {
+		fmt.Fprintf(&b, "        migration converged: %d entries moved, new shard holds %d; lost after: %d (claim: 0)\n",
+			r.MigratedAdd, r.NewShardEntries, r.LostAfterAdd)
+	} else {
+		fmt.Fprintf(&b, "        migration did NOT converge in the window\n")
+	}
+	fmt.Fprintf(&b, "shrink: removed shard %d with %d live sessions; lost at ring change: %d (claim: 0)\n",
+		r.RemovedShard, r.SessionsAtRemove, r.LostAtRemove)
+	if r.RemoveConverged {
+		fmt.Fprintf(&b, "        drain converged: %d entries moved, %d bricks retired; lost after: %d (claim: 0)\n",
+			r.MigratedRemove, r.RetiredBricks, r.LostAfterRemove)
+	} else {
+		fmt.Fprintf(&b, "        drain did NOT converge in the window\n")
+	}
+	fmt.Fprintf(&b, "client-visible failures across both ring changes: %d (claim: 0; %d requests total)\n",
+		r.FailuresAfter-r.FailuresBefore, r.TotalRequests)
+	fmt.Fprintf(&b, "ring generation after both changes: %d\n", r.RingVersion)
+	return b.String()
+}

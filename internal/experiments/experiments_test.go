@@ -209,6 +209,51 @@ func TestBrickCrashZeroSessionLoss(t *testing.T) {
 	t.Log("\n" + r.String())
 }
 
+func TestFigureElasticZeroLossUnderLoad(t *testing.T) {
+	r := FigureElastic(quick)
+	if r.SessionsAtAdd == 0 || r.SessionsAtRemove == 0 {
+		t.Fatalf("vacuous run: %d sessions at add, %d at remove", r.SessionsAtAdd, r.SessionsAtRemove)
+	}
+	if !r.AddConverged || !r.RemoveConverged {
+		t.Fatalf("migration did not converge: add=%v remove=%v", r.AddConverged, r.RemoveConverged)
+	}
+	if r.MigratedAdd == 0 || r.NewShardEntries == 0 {
+		t.Fatalf("add-shard migration vacuous: moved %d, new shard holds %d", r.MigratedAdd, r.NewShardEntries)
+	}
+	if r.MigratedRemove == 0 || r.RetiredBricks != 3 {
+		t.Fatalf("drain vacuous: moved %d, retired %d bricks", r.MigratedRemove, r.RetiredBricks)
+	}
+	if n := r.LostAtAdd + r.LostAfterAdd + r.LostAtRemove + r.LostAfterRemove; n != 0 {
+		t.Fatalf("lost %d sessions across the ring changes, want 0 (%+v)", n, r)
+	}
+	if delta := r.FailuresAfter - r.FailuresBefore; delta != 0 {
+		t.Fatalf("elastic resize surfaced %d client-visible failures, want 0", delta)
+	}
+	if r.RingVersion != 3 {
+		t.Fatalf("ring generation = %d, want 3 (initial + add + remove)", r.RingVersion)
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestFigure3SharedClusterKeepsShape(t *testing.T) {
+	// Figures 3/4 rerun on a cross-node SSM brick cluster: failover still
+	// happens, and µRB still beats the full restart, but the shared store
+	// means redirected sessions survive the node's recovery.
+	r := Figure3(Options{Quick: true, ClusterStore: "ssm-cluster"})
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range r.Rows {
+		if row.MicroFailed > row.RestartFailed {
+			t.Fatalf("%d nodes: µRB failed %d > restart %d", row.Nodes, row.MicroFailed, row.RestartFailed)
+		}
+		if row.RestartSessions == 0 {
+			t.Fatalf("%d nodes: no sessions failed over under restart", row.Nodes)
+		}
+	}
+	t.Log("\n" + r.String())
+}
+
 func TestTable5PerformanceShape(t *testing.T) {
 	r := Table5(quick)
 	if len(r.Rows) != 4 {

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
@@ -27,6 +28,27 @@ import (
 type Options struct {
 	Quick bool
 	Seed  int64
+	// ClusterStore selects the session store the multi-node cluster
+	// experiments (Figures 3/4, Section 6.1) share across nodes: "fasts"
+	// (default, node-local state — the paper's main configuration) or
+	// "ssm-cluster" (a cross-node SSM brick cluster, the paper's §6.1
+	// variant whose session state survives node restarts).
+	ClusterStore string
+}
+
+// clusterKind maps ClusterStore onto the experiment store kind. Unknown
+// names panic rather than silently measuring the wrong configuration.
+func (o Options) clusterKind() storeKind {
+	switch o.ClusterStore {
+	case "ssm-cluster":
+		return useSharedCluster
+	case "ssm":
+		return useSSM
+	case "", "fasts":
+		return useFastS
+	default:
+		panic("experiments: unknown ClusterStore " + strconv.Quote(o.ClusterStore))
+	}
 }
 
 func (o Options) seed() int64 {
@@ -71,21 +93,31 @@ const (
 	useFastS storeKind = iota
 	useSSM
 	useSSMCluster
+	// useSharedCluster gives every node of a multi-node environment the
+	// same SSM brick cluster, so session state survives node restarts
+	// and failover loses nothing.
+	useSharedCluster
 )
+
+// newBrickCluster builds the standard 4×3 W=2 experiment brick cluster
+// on the kernel's clock.
+func newBrickCluster(k *sim.Kernel) *session.SSMCluster {
+	cl, err := session.NewSSMCluster(session.ClusterConfig{
+		Shards: 4, Replicas: 3, WriteQuorum: 2, Now: k.Now, LeaseTTL: time.Hour,
+	})
+	if err != nil {
+		panic("experiments: cluster store: " + err.Error())
+	}
+	return cl
+}
 
 // newStore builds the session store for a kind on the kernel's clock.
 func newStore(k *sim.Kernel, kind storeKind) session.Store {
 	switch kind {
 	case useSSM:
 		return session.NewSSM(k.Now, time.Hour)
-	case useSSMCluster:
-		cl, err := session.NewSSMCluster(session.ClusterConfig{
-			Shards: 4, Replicas: 3, WriteQuorum: 2, Now: k.Now, LeaseTTL: time.Hour,
-		})
-		if err != nil {
-			panic("experiments: cluster store: " + err.Error())
-		}
-		return cl
+	case useSSMCluster, useSharedCluster:
+		return newBrickCluster(k)
 	default:
 		return session.NewFastS()
 	}
@@ -152,6 +184,9 @@ type clusterEnv struct {
 	// injectors, one per node.
 	injectors []*faults.Injector
 	sharedSSM *session.SSM
+	// bricks is the cross-node brick cluster shared by every node when
+	// the environment was built with useSharedCluster.
+	bricks *session.SSMCluster
 }
 
 func newClusterEnv(o Options, nNodes, clientsPerNode int, kind storeKind) *clusterEnv {
@@ -166,14 +201,20 @@ func newClusterEnvCfg(o Options, nNodes, clientsPerNode int, kind storeKind, nod
 		panic("experiments: dataset: " + err.Error())
 	}
 	ce := &clusterEnv{kernel: k, db: d}
-	if kind == useSSM {
+	switch kind {
+	case useSSM:
 		ce.sharedSSM = session.NewSSM(k.Now, time.Hour)
+	case useSharedCluster:
+		ce.bricks = newBrickCluster(k)
 	}
 	for i := 0; i < nNodes; i++ {
 		var store session.Store
-		if kind == useSSM {
+		switch kind {
+		case useSSM:
 			store = ce.sharedSSM
-		} else {
+		case useSharedCluster:
+			store = ce.bricks
+		default:
 			store = session.NewFastS()
 		}
 		cfg := nodeCfg
@@ -200,4 +241,17 @@ func newClusterEnvCfg(o Options, nNodes, clientsPerNode int, kind storeKind, nod
 
 func nodeName(i int) string {
 	return "node" + string(rune('0'+i))
+}
+
+// pumpMigration schedules a recurring kernel event advancing the brick
+// cluster's migrator — the simulation analog of the live server's
+// background migration goroutine. It keeps rescheduling itself; the
+// step is a cheap no-op while no ring change is in flight.
+func pumpMigration(k *sim.Kernel, cl *session.SSMCluster, every time.Duration, batch int) {
+	var tick func()
+	tick = func() {
+		cl.MigrateStep(batch)
+		k.Schedule(every, tick)
+	}
+	k.Schedule(every, tick)
 }

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ebid"
+	"repro/internal/store/session"
 )
 
 // DefaultRequestTTL is the execution lease granted to each HTTP request;
@@ -39,7 +40,11 @@ type Front struct {
 	// RequestTTL overrides the execution lease on incoming requests
 	// (DefaultRequestTTL when zero).
 	RequestTTL time.Duration
-	start      time.Time
+	// Cluster, when the session store is the SSM brick cluster, exposes
+	// the elastic-ring control surface under /admin/ssm/ (shard add,
+	// shard remove, ring status). Nil for the other stores.
+	Cluster *session.SSMCluster
+	start   time.Time
 }
 
 // New builds a front end for the given application. The server is put in
@@ -52,14 +57,117 @@ func New(app *ebid.App) *Front {
 }
 
 // Handler returns the HTTP handler: /ebid/<Operation> for end-user
-// operations, /admin/microreboot, /admin/reboot, /admin/components.
+// operations, /admin/microreboot, /admin/reboot, /admin/components, and
+// — when the store is the SSM brick cluster — the elastic-ring controls
+// /admin/ssm/addshard, /admin/ssm/removeshard and /admin/ssm/elastic.
 func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ebid/", f.serveOp)
 	mux.HandleFunc("/admin/microreboot", f.serveMicroreboot)
 	mux.HandleFunc("/admin/reboot", f.serveReboot)
 	mux.HandleFunc("/admin/components", f.serveComponents)
+	mux.HandleFunc("/admin/ssm/addshard", f.serveAddShard)
+	mux.HandleFunc("/admin/ssm/removeshard", f.serveRemoveShard)
+	mux.HandleFunc("/admin/ssm/elastic", f.serveElastic)
 	return mux
+}
+
+// cluster gates the elastic endpoints on a brick-cluster store.
+func (f *Front) cluster(w http.ResponseWriter) *session.SSMCluster {
+	if f.Cluster == nil {
+		http.Error(w, "session store is not an SSM brick cluster", http.StatusNotFound)
+		return nil
+	}
+	return f.Cluster
+}
+
+// serveAddShard handles POST /admin/ssm/addshard: grow the ring by one
+// shard; the server's background migrator drains entries to it.
+func (f *Front) serveAddShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	cl := f.cluster(w)
+	if cl == nil {
+		return
+	}
+	shard, err := cl.AddShard()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, session.ErrResizing) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	var bricks []string
+	for _, b := range cl.Bricks() {
+		if b.Shard() == shard {
+			bricks = append(bricks, b.Name())
+		}
+	}
+	writeJSON(w, map[string]any{
+		"shard":        shard,
+		"bricks":       bricks,
+		"ring_version": cl.RingVersion(),
+	})
+}
+
+// serveRemoveShard handles POST /admin/ssm/removeshard?shard=N: the
+// shard stops owning keys immediately and drains in the background; its
+// bricks retire once the drain converges.
+func (f *Front) serveRemoveShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	cl := f.cluster(w)
+	if cl == nil {
+		return
+	}
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		http.Error(w, "shard parameter required", http.StatusBadRequest)
+		return
+	}
+	if err := cl.RemoveShard(shard); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, session.ErrResizing) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"shard":        shard,
+		"draining":     true,
+		"ring_version": cl.RingVersion(),
+	})
+}
+
+// serveElastic handles GET /admin/ssm/elastic: the ring status plus a
+// per-brick population listing.
+func (f *Front) serveElastic(w http.ResponseWriter, r *http.Request) {
+	cl := f.cluster(w)
+	if cl == nil {
+		return
+	}
+	type brick struct {
+		Name    string `json:"name"`
+		Shard   int    `json:"shard"`
+		Up      bool   `json:"up"`
+		Entries int    `json:"entries"`
+	}
+	var bricks []brick
+	for _, b := range cl.Bricks() {
+		bricks = append(bricks, brick{Name: b.Name(), Shard: b.Shard(), Up: b.Up(), Entries: b.Len()})
+	}
+	writeJSON(w, map[string]any{
+		"status":   cl.Elastic(),
+		"sessions": cl.Len(),
+		"bricks":   bricks,
+	})
 }
 
 // sessionID extracts (or assigns) the session cookie. Fresh IDs come from

@@ -302,7 +302,12 @@ func (m *Manager) recover(name string) {
 
 // recoverBricks restarts every dead brick (they recover in parallel, so
 // the modeled duration is the slowest restart) and logs one EJB-scope
-// action with the bricks as members.
+// action with the restarted bricks as members. A brick that refuses to
+// restart is skipped rather than aborting the whole action: with an
+// elastic ring, a brick can vanish between the heartbeat-loss report and
+// the recovery action (its shard drained and retired), and that is a
+// healthy outcome, not an emergency. Only when no dead brick could be
+// restarted at all does RM escalate to a human.
 func (m *Manager) recoverBricks(dead []string) {
 	m.lastTarget = "ssm-bricks"
 	m.lastLevel = 0
@@ -310,17 +315,24 @@ func (m *Manager) recoverBricks(dead []string) {
 		m.OnRecoveryStart()
 	}
 	var longest time.Duration
+	var restarted []string
+	var lastErr error
 	for _, brick := range dead {
 		d, err := m.Bricks.RestartBrick(brick)
 		if err != nil {
-			m.finishRecovery("ssm-bricks", core.ScopeComponent, nil, err)
-			return
+			lastErr = err
+			continue
 		}
+		restarted = append(restarted, brick)
 		if d > longest {
 			longest = d
 		}
 	}
-	rb := &core.Reboot{Scope: core.ScopeComponent, Members: dead, Reinit: longest}
+	if len(restarted) == 0 {
+		m.finishRecovery("ssm-bricks", core.ScopeComponent, nil, lastErr)
+		return
+	}
+	rb := &core.Reboot{Scope: core.ScopeComponent, Members: restarted, Reinit: longest}
 	m.finishRecovery("ssm-bricks", core.ScopeComponent, rb, nil)
 }
 

@@ -192,12 +192,15 @@ type fakeBricks struct {
 	dead      []string
 	restarted []string
 	fail      bool
+	// failNames makes specific bricks refuse to restart (a retired brick
+	// whose shard was removed from the elastic ring).
+	failNames map[string]bool
 }
 
 func (f *fakeBricks) DeadBricks() []string { return append([]string(nil), f.dead...) }
 
 func (f *fakeBricks) RestartBrick(name string) (time.Duration, error) {
-	if f.fail {
+	if f.fail || f.failNames[name] {
 		return 0, core.ErrNotBound
 	}
 	f.restarted = append(f.restarted, name)
@@ -279,6 +282,37 @@ func TestForceScopeOverridesBrickRecovery(t *testing.T) {
 	}
 	if len(fr.scopes) != 1 || fr.scopes[0] != core.ScopeProcess {
 		t.Fatalf("scopes = %v, want the forced process restart", fr.scopes)
+	}
+}
+
+func TestRetiredBrickSkippedDuringBrickRecovery(t *testing.T) {
+	// A brick can vanish between the heartbeat-loss report and the
+	// recovery action — its shard was drained and retired by an elastic
+	// ring change. RM must restart the bricks that still exist and not
+	// treat the vanished one as an emergency.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	fb := &fakeBricks{
+		dead:      []string{"ssm/s0-r0", "ssm/s1-r2"},
+		failNames: map[string]bool{"ssm/s0-r0": true}, // retired mid-flight
+	}
+	var human []string
+	m := NewManager(k, fr, Config{Threshold: 1})
+	m.Bricks = fb
+	m.NotifyHuman = func(r string) { human = append(human, r) }
+	m.ReportBrickFailure("ssm/s1-r2")
+	k.Drain()
+	if len(human) != 0 {
+		t.Fatalf("human notified for a retired brick: %v", human)
+	}
+	if len(fb.restarted) != 1 || fb.restarted[0] != "ssm/s1-r2" {
+		t.Fatalf("restarted = %v, want just the live dead brick", fb.restarted)
+	}
+	if len(m.Actions) != 1 {
+		t.Fatalf("actions = %+v", m.Actions)
+	}
+	if members := m.Actions[0].Reboot.Members; len(members) != 1 || members[0] != "ssm/s1-r2" {
+		t.Fatalf("action members = %v, want only the restarted brick", members)
 	}
 }
 
