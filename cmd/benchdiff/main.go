@@ -1,0 +1,175 @@
+// Command benchdiff compares two benchmark runs captured as test2json
+// event streams (the BENCH_PR.json artifacts CI uploads per run) and
+// flags per-benchmark ns/op movements beyond a threshold — the trend
+// tracker that turns the per-commit artifacts into an actual perf gate.
+//
+// Usage:
+//
+//	benchdiff -old baseline/BENCH_PR.json -new BENCH_PR.json [-threshold 20] [-fail]
+//
+// Output is one line per benchmark movement, plus GitHub workflow
+// annotations (::error:: for regressions, ::notice:: for improvements)
+// so the movements surface on the run page. With -fail, any regression
+// beyond the threshold exits non-zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's record benchdiff needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line inside an output event, e.g.
+// "BenchmarkStoreRead/SSMCluster-4   9246   129797 ns/op  2 extra".
+// The -N GOMAXPROCS suffix is stripped so runs from different machines
+// stay comparable.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts benchmark → ns/op from a test2json stream. A
+// benchmark that appears more than once (reruns) keeps its last value.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate non-JSON noise (interleaved tool output).
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(ev.Output))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		out[ev.Package+"."+m[1]] = ns
+	}
+	return out, sc.Err()
+}
+
+// movement is one benchmark's old→new comparison.
+type movement struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	deltaPct float64
+}
+
+// diff compares two parsed runs and returns the movements for
+// benchmarks present in both, sorted worst-regression first.
+func diff(oldRun, newRun map[string]float64) (moves []movement, onlyOld, onlyNew []string) {
+	for name, oldNs := range oldRun {
+		newNs, ok := newRun[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		deltaPct := 0.0
+		if oldNs > 0 {
+			deltaPct = (newNs - oldNs) / oldNs * 100
+		}
+		moves = append(moves, movement{name: name, oldNs: oldNs, newNs: newNs, deltaPct: deltaPct})
+	}
+	for name := range newRun {
+		if _, ok := oldRun[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].deltaPct != moves[j].deltaPct {
+			return moves[i].deltaPct > moves[j].deltaPct
+		}
+		return moves[i].name < moves[j].name
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return moves, onlyOld, onlyNew
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline test2json bench stream")
+	newPath := flag.String("new", "", "current test2json bench stream")
+	threshold := flag.Float64("threshold", 20, "percent ns/op movement that counts as a regression/improvement")
+	fail := flag.Bool("fail", false, "exit non-zero when any regression exceeds the threshold")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRun, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRun, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(oldRun) == 0 {
+		// An empty baseline (first run on a branch, artifact expired) is
+		// not a regression; say so and succeed.
+		fmt.Printf("benchdiff: baseline has no benchmark results; nothing to compare (%d current)\n", len(newRun))
+		return
+	}
+	moves, onlyOld, onlyNew := diff(oldRun, newRun)
+	regressions := 0
+	for _, m := range moves {
+		switch {
+		case m.deltaPct > *threshold:
+			regressions++
+			fmt.Printf("::error::bench regression: %s %.0f → %.0f ns/op (%+.1f%%)\n",
+				m.name, m.oldNs, m.newNs, m.deltaPct)
+		case m.deltaPct < -*threshold:
+			fmt.Printf("::notice::bench improvement: %s %.0f → %.0f ns/op (%+.1f%%)\n",
+				m.name, m.oldNs, m.newNs, m.deltaPct)
+		default:
+			fmt.Printf("bench ok: %s %.0f → %.0f ns/op (%+.1f%%)\n",
+				m.name, m.oldNs, m.newNs, m.deltaPct)
+		}
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("bench removed: %s\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("bench added: %s\n", name)
+	}
+	fmt.Printf("benchdiff: %d compared, %d regressions beyond %.0f%% (%d removed, %d added)\n",
+		len(moves), regressions, *threshold, len(onlyOld), len(onlyNew))
+	if *fail && regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldStream = `
+{"Action":"output","Package":"repro","Output":"BenchmarkStoreRead/FastS-4   \t  500000\t      2100 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkStoreRead/SSMCluster-4   \t  10000\t    130000 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkGone-4 \t 100 \t 999 ns/op\n"}
+{"Action":"run","Package":"repro"}
+not json at all
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t1.2s\n"}
+`
+
+const newStream = `
+{"Action":"output","Package":"repro","Output":"BenchmarkStoreRead/FastS-8   \t  500000\t      2700 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkStoreRead/SSMCluster-8   \t  10000\t     90000 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkFresh-8 \t 100 \t 50 ns/op\n"}
+`
+
+func TestParseBenchExtractsResults(t *testing.T) {
+	got, err := parseBench(strings.NewReader(oldStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	if got["repro.BenchmarkStoreRead/FastS"] != 2100 {
+		t.Fatalf("FastS = %v", got["repro.BenchmarkStoreRead/FastS"])
+	}
+	// The -N GOMAXPROCS suffix must not leak into the key.
+	for name := range got {
+		if strings.HasSuffix(name, "-4") {
+			t.Fatalf("key kept its GOMAXPROCS suffix: %s", name)
+		}
+	}
+}
+
+func TestDiffFlagsRegressionsAndChurn(t *testing.T) {
+	oldRun, _ := parseBench(strings.NewReader(oldStream))
+	newRun, _ := parseBench(strings.NewReader(newStream))
+	moves, onlyOld, onlyNew := diff(oldRun, newRun)
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v, want 2", moves)
+	}
+	// Sorted worst-first: the FastS +28.6% regression leads.
+	if moves[0].name != "repro.BenchmarkStoreRead/FastS" || moves[0].deltaPct < 28 || moves[0].deltaPct > 29 {
+		t.Fatalf("worst move = %+v", moves[0])
+	}
+	// SSMCluster got ~31% faster.
+	if moves[1].deltaPct > -30 {
+		t.Fatalf("improvement not detected: %+v", moves[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "repro.BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "repro.BenchmarkFresh" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestDiffIdenticalRunsAreQuiet(t *testing.T) {
+	run, _ := parseBench(strings.NewReader(oldStream))
+	moves, onlyOld, onlyNew := diff(run, run)
+	for _, m := range moves {
+		if m.deltaPct != 0 {
+			t.Fatalf("self-diff moved: %+v", m)
+		}
+	}
+	if len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("self-diff churn: %v / %v", onlyOld, onlyNew)
+	}
+}

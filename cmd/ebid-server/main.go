@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file] [-reap-interval D]
+//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file] [-reap-interval D] [-autoscale] [-autoscale-min N] [-autoscale-max N] [-autoscale-high X] [-autoscale-low X]
 //
 // Try it:
 //
@@ -18,9 +18,13 @@
 //	curl -X POST 'localhost:8080/admin/ssm/removeshard?shard=0'
 //	curl localhost:8080/admin/ssm/elastic
 //
-// A background migrator streams entries to their new owner shards after
-// every ring change, and a lease reaper garbage-collects lapsed sessions
-// on the SSM stores every -reap-interval.
+// A control plane ticks every -migrate-interval: its probes sample
+// per-shard load, a load-adaptive migration pacer streams entries to
+// their new owner shards after every ring change (backing off when
+// client p95 latency rises), and with -autoscale the ring resizes
+// itself against the load watermarks. Inspect it at
+// /admin/controlplane/status. A lease reaper garbage-collects lapsed
+// sessions on the SSM stores every -reap-interval.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/ebid"
 	"repro/internal/httpfront"
 	"repro/internal/store/db"
@@ -48,7 +53,15 @@ func main() {
 	reapInterval := flag.Duration("reap-interval", time.Minute,
 		"how often the lease reaper garbage-collects expired SSM sessions (0 disables)")
 	migrateInterval := flag.Duration("migrate-interval", 100*time.Millisecond,
-		"ssm-cluster: how often the background migrator advances after a ring change")
+		"ssm-cluster: how often the control plane ticks (migration pacing, load probes; 0 disables)")
+	autoscale := flag.Bool("autoscale", false,
+		"ssm-cluster: let the control plane add/remove shards against the load watermarks")
+	autoscaleMin := flag.Int("autoscale-min", 2, "autoscaler: minimum shards")
+	autoscaleMax := flag.Int("autoscale-max", 8, "autoscaler: maximum shards")
+	autoscaleHigh := flag.Float64("autoscale-high", 5000, "autoscaler: add a shard above this mean sessions/shard")
+	autoscaleLow := flag.Float64("autoscale-low", 500, "autoscaler: remove a shard below this mean sessions/shard")
+	targetP95 := flag.Duration("migrate-target-p95", 500*time.Millisecond,
+		"ssm-cluster: client p95 above which the migration pacer backs off")
 	flag.Parse()
 
 	var wal *db.WAL
@@ -115,31 +128,55 @@ func main() {
 		}()
 		log.Printf("lease reaper running every %v", *reapInterval)
 	}
-	// Background migrator: after an /admin/ssm/addshard or removeshard
-	// ring change, stream entries to their new owner shards. A step is a
-	// cheap no-op while the ring is stable. Without a migrator a ring
-	// change could never drain (and would wedge further resizes), so
-	// disabling it disables the elastic control surface too.
+	// The control plane: every request's latency and failure feed its
+	// bus through the HTTP front end; with an SSM brick cluster its
+	// probes sample per-shard load, the migration pacer replaces the old
+	// fixed-budget migrator (backing off when client p95 rises, full
+	// throttle when idle), and -autoscale closes the elasticity loop.
+	// Without a ticking plane a ring change could never drain (and would
+	// wedge further resizes), so disabling it disables the elastic
+	// control surface too.
 	if cl != nil && *migrateInterval <= 0 {
-		log.Printf("migrator disabled (-migrate-interval %v): elastic ring controls are off", *migrateInterval)
+		log.Printf("control plane disabled (-migrate-interval %v): elastic ring controls are off", *migrateInterval)
 		cl = nil
 	}
+	plane := controlplane.New(controlplane.Config{Clock: clock, Cluster: clusterOrNil(cl)})
 	if cl != nil {
+		pacer := controlplane.NewMigrationPacer(cl, controlplane.PacerConfig{TargetP95: *targetP95})
+		plane.Use(pacer)
+		if *autoscale {
+			scaler := controlplane.NewAutoscaler(cl, controlplane.AutoscalerConfig{
+				MinShards: *autoscaleMin, MaxShards: *autoscaleMax,
+				HighWater: *autoscaleHigh, LowWater: *autoscaleLow,
+				OnResize: func(act controlplane.ResizeAction) {
+					verb := "removed"
+					if act.Added {
+						verb = "added"
+					}
+					if act.Err != "" {
+						log.Printf("autoscaler: resize failed at %.0f sessions/shard: %s", act.AvgLoad, act.Err)
+						return
+					}
+					log.Printf("autoscaler: %s shard %d at %.0f sessions/shard", verb, act.Shard, act.AvgLoad)
+				},
+			})
+			plane.Use(scaler)
+			log.Printf("autoscaler watching the ring: %d..%d shards, add above %.0f, remove below %.0f sessions/shard",
+				*autoscaleMin, *autoscaleMax, *autoscaleHigh, *autoscaleLow)
+		}
 		go func() {
 			migrating := false
 			for range time.Tick(*migrateInterval) {
-				moved, done := cl.MigrateStep(256)
-				switch {
-				case !done && !migrating:
-					migrating = true
-					log.Printf("migrator: ring change v%d draining", cl.RingVersion())
-				case done && migrating:
-					migrating = false
+				plane.Tick()
+				if m := cl.Migrating(); m != migrating {
+					migrating = m
 					st := cl.Elastic()
-					log.Printf("migrator: ring v%d converged (%d entries moved so far, shards %v)",
-						st.RingVersion, st.Migrated, st.Shards)
-				case moved > 0:
-					log.Printf("migrator: moved %d entries", moved)
+					if m {
+						log.Printf("migrator: ring change v%d draining", st.RingVersion)
+					} else {
+						log.Printf("migrator: ring v%d converged (%d entries moved so far, shards %v)",
+							st.RingVersion, st.Migrated, st.Shards)
+					}
 				}
 			}
 		}()
@@ -147,6 +184,16 @@ func main() {
 
 	front := httpfront.New(app)
 	front.Cluster = cl
+	front.Plane = plane
 	log.Printf("serving on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, front.Handler()))
+}
+
+// clusterOrNil avoids the typed-nil interface trap when no brick cluster
+// is configured.
+func clusterOrNil(cl *session.SSMCluster) controlplane.ShardCluster {
+	if cl == nil {
+		return nil
+	}
+	return cl
 }

@@ -107,6 +107,14 @@ func main() {
 		section("Elastic ring (extension): shard add/remove under load")
 		fmt.Println(experiments.FigureElastic(o))
 	}
+	if run("autoscale") {
+		section("Autoscale (extension): control-plane-driven resize under load")
+		fmt.Println(experiments.FigureAutoscale(o))
+	}
+	if run("brickslow") {
+		section("Brick slow (extension): fail-stutter latency with/without slow-replica routing")
+		fmt.Println(experiments.FigureBrickSlow(o))
+	}
 	if run("section61") {
 		section("Section 6.1")
 		if fig1 == nil {

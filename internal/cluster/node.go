@@ -199,16 +199,21 @@ func (n *Node) pump() {
 }
 
 // serviceTime draws the calibrated per-request service time.
-func (n *Node) serviceTime(op string) time.Duration {
+func (n *Node) serviceTime(op, sessionID string) time.Duration {
 	d := n.kernel.Normal(ebid.BaseServiceMean, ebid.BaseServiceStddev)
 	if !n.cfg.MicrorebootDisabled {
 		d += ebid.MicrorebootOverhead
 	}
 	if info, ok := ebid.Info(op); ok && (info.NeedsSession || op == ebid.Authenticate || op == ebid.RegisterNewUser || op == ebid.OpLogout) {
 		// Off-node stores (SSM and the SSM brick cluster) pay the
-		// marshalling + network cost on every session access.
+		// marshalling + network cost on every session access — plus the
+		// fail-stutter penalty when the session's read is served by a
+		// degraded brick replica.
 		if n.store.SurvivesProcessRestart() {
 			d += ebid.SSMAccessCost
+			if pen, ok := n.store.(session.ReadPenalized); ok {
+				d += pen.ReadPenalty(sessionID)
+			}
 		}
 	}
 	return d
@@ -280,7 +285,7 @@ func (n *Node) start(p *pending) {
 		err = fmt.Errorf("%w: %v", ErrServiceUnavailable, err)
 	}
 
-	svc := n.serviceTime(p.req.Op)
+	svc := n.serviceTime(p.req.Op, p.req.SessionID)
 	if n.cfg.CongestionScale > 0 && len(n.queue) > 0 {
 		// Degradation is capped at 3x so a collapsed node can still
 		// drain its queue once the surge ends.

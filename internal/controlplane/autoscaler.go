@@ -1,0 +1,194 @@
+package controlplane
+
+import (
+	"time"
+)
+
+// ShardResizer is the actuator the autoscaler drives;
+// *session.SSMCluster implements it.
+type ShardResizer interface {
+	AddShard() (int, error)
+	RemoveShard(id int) error
+}
+
+// AutoscalerConfig parameterizes the elastic-ring controller.
+type AutoscalerConfig struct {
+	// MinShards/MaxShards bound the ring size (defaults 1 / 8).
+	MinShards, MaxShards int
+	// HighWater adds a shard when the mean per-shard session population
+	// stays above it; LowWater removes the least-populated shard when the
+	// mean stays below it. HighWater must exceed LowWater enough that a
+	// resize cannot immediately re-trigger the opposite one.
+	HighWater, LowWater float64
+	// Sustain is how many consecutive load samples must sit beyond a
+	// watermark before the controller acts (default 3) — a single noisy
+	// sample must not resize the ring.
+	Sustain int
+	// Cooldown is the minimum time between resize actions (default 30 s):
+	// the previous migration needs to drain and the population needs to
+	// re-settle before the next decision means anything.
+	Cooldown time.Duration
+	// OnResize, when set, observes every action (the live server logs
+	// through it).
+	OnResize func(ResizeAction)
+}
+
+func (c *AutoscalerConfig) fill() {
+	if c.MinShards == 0 {
+		c.MinShards = 1
+	}
+	if c.MaxShards == 0 {
+		c.MaxShards = 8
+	}
+	if c.Sustain == 0 {
+		c.Sustain = 3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 30 * time.Second
+	}
+}
+
+// ResizeAction is one autoscaler decision that reached the actuator.
+type ResizeAction struct {
+	At      time.Duration `json:"at"`
+	Added   bool          `json:"added"`
+	Shard   int           `json:"shard"`
+	AvgLoad float64       `json:"avg_load"`
+	Err     string        `json:"err,omitempty"`
+}
+
+// Autoscaler closes the elasticity loop: it watches SignalShardLoad
+// samples and calls AddShard/RemoveShard on its own once the mean
+// per-shard population sits beyond a watermark for Sustain consecutive
+// samples (and the cooldown has passed, and no migration is draining).
+type Autoscaler struct {
+	cfg    AutoscalerConfig
+	target ShardResizer
+
+	aboveHigh, belowLow int
+	lastResize          time.Duration
+	resized             bool
+
+	// lastAvg/lastShards are the most recent sample, for status.
+	lastAvg    float64
+	lastShards int
+
+	// Actions is the resize log.
+	Actions []ResizeAction
+}
+
+// NewAutoscaler builds the controller driving the given resizer.
+func NewAutoscaler(target ShardResizer, cfg AutoscalerConfig) *Autoscaler {
+	cfg.fill()
+	return &Autoscaler{cfg: cfg, target: target}
+}
+
+// Name implements Controller.
+func (a *Autoscaler) Name() string { return "autoscaler" }
+
+// Tick implements Controller: decisions are sample-driven, so the tick
+// has nothing periodic to do. (The actuator calls happen in OnSignal,
+// under the plane lock: unlike a migration step, installing a ring
+// generation is a few microseconds of in-memory work, and the cooldown
+// makes it rare.)
+func (a *Autoscaler) Tick(time.Duration) func() { return nil }
+
+// OnSignal implements Controller: every shard-load sample advances the
+// sustain counters and possibly acts.
+func (a *Autoscaler) OnSignal(s Signal) {
+	if s.Kind != SignalShardLoad || len(s.Shards) == 0 {
+		return
+	}
+	avg := float64(s.Sessions) / float64(len(s.Shards))
+	a.lastAvg, a.lastShards = avg, len(s.Shards)
+	// A draining migration pins the ring (resizes would fail with
+	// ErrResizing anyway) and inflates populations (mid-flight entries
+	// sit on both owners), so mid-migration samples are no evidence at
+	// all: the sustain counters reset and the controller re-earns its
+	// next decision from Sustain consecutive post-migration samples.
+	if s.Migrating {
+		a.aboveHigh, a.belowLow = 0, 0
+		return
+	}
+	switch {
+	case avg > a.cfg.HighWater:
+		a.aboveHigh++
+		a.belowLow = 0
+	case avg < a.cfg.LowWater:
+		a.belowLow++
+		a.aboveHigh = 0
+	default:
+		a.aboveHigh, a.belowLow = 0, 0
+	}
+	if a.resized && s.At-a.lastResize < a.cfg.Cooldown {
+		return
+	}
+	if a.aboveHigh >= a.cfg.Sustain && len(s.Shards) < a.cfg.MaxShards {
+		act := ResizeAction{At: s.At, Added: true, AvgLoad: avg}
+		shard, err := a.target.AddShard()
+		if err != nil {
+			act.Err = err.Error()
+		} else {
+			act.Shard = shard
+		}
+		a.record(act)
+		return
+	}
+	if a.belowLow >= a.cfg.Sustain && len(s.Shards) > a.cfg.MinShards {
+		act := ResizeAction{At: s.At, Added: false, AvgLoad: avg}
+		act.Shard = leastPopulated(s.Shards)
+		if err := a.target.RemoveShard(act.Shard); err != nil {
+			act.Err = err.Error()
+		}
+		a.record(act)
+	}
+}
+
+func (a *Autoscaler) record(act ResizeAction) {
+	a.Actions = append(a.Actions, act)
+	// Only a resize that actually happened starts the cooldown and
+	// resets the sustain evidence. A failed actuator call (e.g. a ring
+	// change raced in that the last sample had not observed) must not
+	// silence a still-needed resize for a whole cooldown — the evidence
+	// stands, and the next sample retries.
+	if act.Err == "" {
+		a.lastResize = act.At
+		a.resized = true
+		a.aboveHigh, a.belowLow = 0, 0
+	}
+	if a.cfg.OnResize != nil {
+		a.cfg.OnResize(act)
+	}
+}
+
+// leastPopulated picks the shard with the fewest sessions (lowest id on
+// ties, for determinism): draining it moves the fewest entries.
+func leastPopulated(shards map[int]int) int {
+	best, bestPop := -1, -1
+	for id, pop := range shards {
+		if best == -1 || pop < bestPop || (pop == bestPop && id < best) {
+			best, bestPop = id, pop
+		}
+	}
+	return best
+}
+
+// AutoscalerStatus is the controller's operator snapshot.
+type AutoscalerStatus struct {
+	Shards    int            `json:"shards"`
+	AvgLoad   float64        `json:"avg_load"`
+	HighWater float64        `json:"high_water"`
+	LowWater  float64        `json:"low_water"`
+	Actions   []ResizeAction `json:"actions"`
+}
+
+// Status implements Controller.
+func (a *Autoscaler) Status() any {
+	return AutoscalerStatus{
+		Shards:    a.lastShards,
+		AvgLoad:   a.lastAvg,
+		HighWater: a.cfg.HighWater,
+		LowWater:  a.cfg.LowWater,
+		Actions:   append([]ResizeAction(nil), a.Actions...),
+	}
+}

@@ -1,0 +1,293 @@
+// Package controlplane unifies the system's self-management loops —
+// failure diagnosis/recovery, brick heartbeat monitoring, elastic ring
+// resizing, and migration pacing — into one observe–decide–act control
+// plane.
+//
+// The observe half is a signal bus: client monitors publish failure
+// reports, the latency tap publishes per-operation response times, and
+// the plane's own probes publish per-shard session populations and brick
+// heartbeat loss. The decide/act half is a set of controllers that
+// subscribe to the bus: a RecoveryController feeds the recovery
+// manager's diagnosis engine, an Autoscaler resizes the SSM brick ring
+// against load watermarks, and a MigrationPacer adapts the background
+// migrator's per-step budget to foreground client latency. Components
+// stop calling each other directly; they meet on the bus.
+//
+// The plane is driven the same way the rest of this codebase is: a host
+// calls Tick periodically (a simulation-kernel event in experiments, a
+// goroutine ticker in the live server) and every decision happens inside
+// a tick or a publish, under one lock, so controllers need no locking of
+// their own.
+package controlplane
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the plane's notion of time: virtual (sim.Kernel.Now) in
+// experiments, time-since-start in the live server.
+type Clock func() time.Duration
+
+// SignalKind enumerates the observation types on the bus.
+type SignalKind int
+
+// Signal kinds.
+const (
+	// SignalFailure is one end-user operation failure seen by a client
+	// monitor (the paper's UDP failure reports).
+	SignalFailure SignalKind = iota
+	// SignalBrickDead is one brick heartbeat-loss observation.
+	SignalBrickDead
+	// SignalShardLoad is one sample of per-shard session populations.
+	SignalShardLoad
+	// SignalLatency is one client-observed operation response time.
+	SignalLatency
+)
+
+// String names the kind for status surfaces.
+func (k SignalKind) String() string {
+	switch k {
+	case SignalFailure:
+		return "failure"
+	case SignalBrickDead:
+		return "brick-dead"
+	case SignalShardLoad:
+		return "shard-load"
+	case SignalLatency:
+		return "latency"
+	default:
+		return "unknown"
+	}
+}
+
+// Signal is one observation on the bus. Kind says which fields are
+// meaningful.
+type Signal struct {
+	Kind SignalKind
+	At   time.Duration
+
+	// SignalFailure: the failed end-user operation and failure type.
+	Op          string
+	FailureKind string
+
+	// SignalBrickDead: the brick whose heartbeat is missing.
+	Brick string
+
+	// SignalShardLoad: shard id → session population, plus totals.
+	Shards    map[int]int
+	Sessions  int
+	Migrating bool
+
+	// SignalLatency: one operation's response time and outcome.
+	Latency time.Duration
+	OK      bool
+}
+
+// Bus fans observations out to subscribers synchronously, in
+// subscription order. It keeps per-kind counts for status surfaces.
+// The Plane serializes all publishes under its lock.
+type Bus struct {
+	subs   []func(Signal)
+	counts [4]int64
+}
+
+// Subscribe registers a consumer for every signal.
+func (b *Bus) Subscribe(fn func(Signal)) {
+	b.subs = append(b.subs, fn)
+}
+
+// Publish delivers one signal to every subscriber.
+func (b *Bus) Publish(s Signal) {
+	if int(s.Kind) >= 0 && int(s.Kind) < len(b.counts) {
+		b.counts[s.Kind]++
+	}
+	for _, fn := range b.subs {
+		fn(s)
+	}
+}
+
+// Counts reports how many signals of each kind have been published.
+func (b *Bus) Counts() map[string]int64 {
+	out := make(map[string]int64, len(b.counts))
+	for k, n := range b.counts {
+		out[SignalKind(k).String()] = n
+	}
+	return out
+}
+
+// Controller is one decide/act loop on the plane. OnSignal observes (it
+// must not block); Tick decides under the plane lock and may return the
+// act half as a closure, which the plane runs after releasing its lock —
+// so a slow actuator (a migration step, a ring change) never stalls the
+// foreground emitters serializing on that lock. Status is a JSON-able
+// snapshot for operators.
+type Controller interface {
+	Name() string
+	OnSignal(Signal)
+	Tick(now time.Duration) (act func())
+	Status() any
+}
+
+// ShardCluster is the view of the SSM brick cluster the plane's probes
+// sample; *session.SSMCluster implements it.
+type ShardCluster interface {
+	ShardPopulations() map[int]int
+	DeadBricks() []string
+	Migrating() bool
+}
+
+// DefaultProbeInterval is how often the cluster probe samples per-shard
+// populations and brick heartbeats. Load moves at session-lifetime
+// speed, so probing faster than ~1 s buys nothing — and the population
+// scan is O(sessions), so a fast-ticking plane must not pay it per tick.
+const DefaultProbeInterval = time.Second
+
+// Config parameterizes a Plane.
+type Config struct {
+	// Clock supplies time; required.
+	Clock Clock
+	// Cluster, when set, is probed every ProbeInterval: per-shard
+	// populations become SignalShardLoad, missing brick heartbeats
+	// SignalBrickDead.
+	Cluster ShardCluster
+	// ProbeInterval overrides the cluster probe cadence
+	// (DefaultProbeInterval when zero). Ticks between probes still run
+	// the controllers.
+	ProbeInterval time.Duration
+}
+
+// Plane owns the bus, the probes, and the controllers.
+type Plane struct {
+	mu            sync.Mutex
+	clock         Clock
+	bus           *Bus
+	cluster       ShardCluster
+	probeInterval time.Duration
+
+	controllers []Controller
+	ticks       int64
+	lastProbe   time.Duration
+	probed      bool
+}
+
+// New builds a control plane.
+func New(cfg Config) *Plane {
+	if cfg.Clock == nil {
+		panic("controlplane: Config.Clock is required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	return &Plane{clock: cfg.Clock, bus: &Bus{}, cluster: cfg.Cluster, probeInterval: cfg.ProbeInterval}
+}
+
+// Use attaches a controller: it is subscribed to the bus and ticked on
+// every Plane.Tick.
+func (p *Plane) Use(c Controller) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.controllers = append(p.controllers, c)
+	p.bus.Subscribe(c.OnSignal)
+}
+
+// Publish puts one raw signal on the bus (emitters usually go through
+// the typed helpers below). The timestamp is stamped here.
+func (p *Plane) Publish(s Signal) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.At = p.clock()
+	p.bus.Publish(s)
+}
+
+// ReportFailure publishes one end-user operation failure — the client
+// monitors' entry point onto the bus.
+func (p *Plane) ReportFailure(op, kind string) {
+	p.Publish(Signal{Kind: SignalFailure, Op: op, FailureKind: kind})
+}
+
+// ObserveOp publishes one operation's client-observed response time.
+func (p *Plane) ObserveOp(latency time.Duration, ok bool) {
+	p.Publish(Signal{Kind: SignalLatency, Latency: latency, OK: ok})
+}
+
+// Tick runs one observe–decide–act round: the probes publish what they
+// see (at most once per ProbeInterval), then every controller gets its
+// decide step; the act closures the controllers return run last, after
+// the plane lock is released. The O(sessions) cluster probe also runs
+// before the lock is taken — so foreground emitters (every live HTTP
+// request reports its latency) only ever wait on controller
+// bookkeeping, never on store scans or actuators.
+func (p *Plane) Tick() {
+	now := p.clock()
+	var probes []Signal
+	if p.cluster != nil && p.probeDue(now) {
+		pops := p.cluster.ShardPopulations()
+		total := 0
+		for _, n := range pops {
+			total += n
+		}
+		probes = append(probes, Signal{
+			Kind:      SignalShardLoad,
+			At:        now,
+			Shards:    pops,
+			Sessions:  total,
+			Migrating: p.cluster.Migrating(),
+		})
+		for _, brick := range p.cluster.DeadBricks() {
+			probes = append(probes, Signal{Kind: SignalBrickDead, At: now, Brick: brick})
+		}
+	}
+	var acts []func()
+	p.mu.Lock()
+	p.ticks++
+	for _, s := range probes {
+		p.bus.Publish(s)
+	}
+	for _, c := range p.controllers {
+		if act := c.Tick(now); act != nil {
+			acts = append(acts, act)
+		}
+	}
+	p.mu.Unlock()
+	for _, act := range acts {
+		act()
+	}
+}
+
+// probeDue reports (and records) whether a cluster probe should run at
+// now. The first tick always probes.
+func (p *Plane) probeDue(now time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.probed && now-p.lastProbe < p.probeInterval {
+		return false
+	}
+	p.probed = true
+	p.lastProbe = now
+	return true
+}
+
+// Status is the operator view served by /admin/controlplane/status.
+type Status struct {
+	Now         time.Duration    `json:"now"`
+	Ticks       int64            `json:"ticks"`
+	Signals     map[string]int64 `json:"signals"`
+	Controllers map[string]any   `json:"controllers"`
+}
+
+// Status snapshots the plane.
+func (p *Plane) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Status{
+		Now:         p.clock(),
+		Ticks:       p.ticks,
+		Signals:     p.bus.Counts(),
+		Controllers: map[string]any{},
+	}
+	for _, c := range p.controllers {
+		st.Controllers[c.Name()] = c.Status()
+	}
+	return st
+}

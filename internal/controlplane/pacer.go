@@ -1,0 +1,200 @@
+package controlplane
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// MigrationPump is the actuator the pacer drives; *session.SSMCluster
+// implements it.
+type MigrationPump interface {
+	MigrateStep(max int) (moved int, done bool)
+}
+
+// PacerConfig parameterizes the load-adaptive migration controller.
+type PacerConfig struct {
+	// TargetP95 is the foreground-latency ceiling the pacer defends: when
+	// the client p95 over the trailing window exceeds it, the migration
+	// budget backs off (default 500 ms).
+	TargetP95 time.Duration
+	// Window is the trailing latency window width (default
+	// metrics.DefaultWindowWidth).
+	Window time.Duration
+	// MinBudget/MaxBudget bound the per-step entry budget (defaults
+	// 16/1024); StartBudget is the initial value (default 256 — the old
+	// flat per-step budget).
+	MinBudget, MaxBudget, StartBudget int
+}
+
+func (c *PacerConfig) fill() {
+	if c.TargetP95 == 0 {
+		c.TargetP95 = 500 * time.Millisecond
+	}
+	if c.MinBudget == 0 {
+		c.MinBudget = 16
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 1024
+	}
+	if c.StartBudget == 0 {
+		c.StartBudget = 256
+	}
+}
+
+// MigrationPacer makes the background migrator load-adaptive: it watches
+// client latency signals and adjusts MigrateStep's per-step entry budget
+// AIMD-style — halve when the trailing p95 exceeds the target
+// (foreground traffic is hurting), add a fixed increment when it is
+// comfortably below, and jump straight to the maximum when the system is
+// idle (no foreground samples at all: migrate as fast as possible while
+// nobody is watching). Each Tick then advances the migrator by the
+// current budget; the step is a cheap no-op while the ring is stable.
+type MigrationPacer struct {
+	cfg  PacerConfig
+	pump MigrationPump
+	// window holds successful-op latencies (the p95 source); traffic
+	// counts every op, success or failure, so an all-failing system is
+	// distinguishable from an idle one.
+	window  *metrics.Window
+	traffic *metrics.Window
+
+	budget  int
+	lastP95 time.Duration
+	idle    bool
+
+	// moved is updated by the act closure outside the plane lock, while
+	// Status reads under it — hence atomic.
+	moved                atomic.Int64
+	minBudget, maxBudget int // extreme budgets actually used, for status
+	backoffs             int64
+}
+
+// NewMigrationPacer builds the controller driving the given pump.
+func NewMigrationPacer(pump MigrationPump, cfg PacerConfig) *MigrationPacer {
+	cfg.fill()
+	return &MigrationPacer{
+		cfg:       cfg,
+		pump:      pump,
+		window:    metrics.NewWindow(cfg.Window),
+		traffic:   metrics.NewWindow(cfg.Window),
+		budget:    cfg.StartBudget,
+		minBudget: cfg.StartBudget,
+		maxBudget: cfg.StartBudget,
+	}
+}
+
+// Name implements Controller.
+func (m *MigrationPacer) Name() string { return "migration-pacer" }
+
+// OnSignal implements Controller: successful-operation latencies feed
+// the trailing p95 window (failures have pathological latencies —
+// timeouts, instant refusals — that say nothing about migration
+// pressure), while every operation counts as traffic.
+func (m *MigrationPacer) OnSignal(s Signal) {
+	if s.Kind != SignalLatency {
+		return
+	}
+	m.traffic.Observe(s.At, s.Latency)
+	if s.OK {
+		m.window.Observe(s.At, s.Latency)
+	}
+}
+
+// Budget returns the current per-step entry budget.
+func (m *MigrationPacer) Budget() int { return m.budget }
+
+// growthIncrement is the additive-increase step, as a fraction of the
+// budget range: ~8 ticks from min to max when latency stays healthy.
+func (m *MigrationPacer) growthIncrement() int {
+	inc := (m.cfg.MaxBudget - m.cfg.MinBudget) / 8
+	if inc < 1 {
+		inc = 1
+	}
+	return inc
+}
+
+// Tick implements Controller: re-estimate the trailing p95 and adapt
+// the budget (the decide half, under the plane lock); the returned act
+// closure advances the migrator by the chosen budget after the lock is
+// released, so in-flight requests never wait on a migration step.
+func (m *MigrationPacer) Tick(now time.Duration) func() {
+	m.window.Prune(now)
+	m.traffic.Prune(now)
+	m.idle = m.traffic.Count() == 0
+	switch {
+	case m.idle:
+		// Nobody is looking: drain at full throttle.
+		m.budget = m.cfg.MaxBudget
+		m.lastP95 = 0
+	case m.window.Count() == 0:
+		// Traffic exists but nothing succeeds — an outage or a recovery
+		// in flight, not idleness. The opposite of a license to sprint:
+		// back off and stay out of the way.
+		m.lastP95 = 0
+		m.budget /= 2
+		if m.budget < m.cfg.MinBudget {
+			m.budget = m.cfg.MinBudget
+		}
+		m.backoffs++
+	default:
+		m.lastP95 = m.window.Quantile(0.95)
+		if m.lastP95 > m.cfg.TargetP95 {
+			m.budget /= 2
+			if m.budget < m.cfg.MinBudget {
+				m.budget = m.cfg.MinBudget
+			}
+			m.backoffs++
+		} else {
+			m.budget += m.growthIncrement()
+			if m.budget > m.cfg.MaxBudget {
+				m.budget = m.cfg.MaxBudget
+			}
+		}
+	}
+	if m.budget < m.minBudget {
+		m.minBudget = m.budget
+	}
+	if m.budget > m.maxBudget {
+		m.maxBudget = m.budget
+	}
+	budget := m.budget
+	return func() {
+		moved, _ := m.pump.MigrateStep(budget)
+		m.moved.Add(int64(moved))
+	}
+}
+
+// PacerStatus is the controller's operator snapshot.
+type PacerStatus struct {
+	Budget    int           `json:"budget"`
+	MinUsed   int           `json:"min_budget_used"`
+	MaxUsed   int           `json:"max_budget_used"`
+	LastP95   time.Duration `json:"last_p95"`
+	TargetP95 time.Duration `json:"target_p95"`
+	Idle      bool          `json:"idle"`
+	Moved     int64         `json:"entries_moved"`
+	Backoffs  int64         `json:"backoffs"`
+}
+
+// Status implements Controller.
+func (m *MigrationPacer) Status() any {
+	return PacerStatus{
+		Budget:    m.budget,
+		MinUsed:   m.minBudget,
+		MaxUsed:   m.maxBudget,
+		LastP95:   m.lastP95,
+		TargetP95: m.cfg.TargetP95,
+		Idle:      m.idle,
+		Moved:     m.moved.Load(),
+		Backoffs:  m.backoffs,
+	}
+}
+
+// MinBudgetUsed and MaxBudgetUsed report the extreme budgets the pacer
+// actually ran with (experiments assert the adaptation really happened).
+func (m *MigrationPacer) MinBudgetUsed() int { return m.minBudget }
+
+// MaxBudgetUsed reports the largest budget used.
+func (m *MigrationPacer) MaxBudgetUsed() int { return m.maxBudget }

@@ -1,0 +1,61 @@
+package controlplane
+
+import (
+	"time"
+
+	"repro/internal/recovery"
+)
+
+// FailureSink is the decide/act half the RecoveryController feeds;
+// *recovery.Manager implements it (its Diagnosis scores the evidence,
+// its EscalationPolicy picks the reboot).
+type FailureSink interface {
+	Report(recovery.Report)
+	ReportBrickFailure(brick string)
+}
+
+// RecoveryController bridges the bus to the recovery manager: failure
+// signals become diagnosis reports, brick heartbeat loss becomes brick
+// failure reports. With it, the monitors that used to call the manager
+// directly (client-side detectors, the brick heartbeat pump) just
+// publish, and recovery becomes one more controller on the plane.
+type RecoveryController struct {
+	sink FailureSink
+
+	failures, brickFailures int64
+}
+
+// NewRecoveryController builds the bridge into the given sink.
+func NewRecoveryController(sink FailureSink) *RecoveryController {
+	return &RecoveryController{sink: sink}
+}
+
+// Name implements Controller.
+func (r *RecoveryController) Name() string { return "recovery" }
+
+// OnSignal implements Controller.
+func (r *RecoveryController) OnSignal(s Signal) {
+	switch s.Kind {
+	case SignalFailure:
+		r.failures++
+		r.sink.Report(recovery.Report{Op: s.Op, Kind: s.FailureKind})
+	case SignalBrickDead:
+		r.brickFailures++
+		r.sink.ReportBrickFailure(s.Brick)
+	}
+}
+
+// Tick implements Controller: the manager runs its own timeline (grace
+// windows, detection delays) on its kernel; nothing periodic here.
+func (r *RecoveryController) Tick(time.Duration) func() { return nil }
+
+// RecoveryStatus is the controller's operator snapshot.
+type RecoveryStatus struct {
+	FailureReports int64 `json:"failure_reports"`
+	BrickFailures  int64 `json:"brick_failure_reports"`
+}
+
+// Status implements Controller.
+func (r *RecoveryController) Status() any {
+	return RecoveryStatus{FailureReports: r.failures, BrickFailures: r.brickFailures}
+}

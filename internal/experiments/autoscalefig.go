@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
+	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/store/session"
+	"repro/internal/workload"
+)
+
+// ------------------------------------------------ Autoscaler (extension)
+
+// AutoscaleResult is the control-plane autoscaling experiment: a two-node
+// cluster shares a small SSM brick ring while the control plane watches
+// per-shard populations. A surge of extra clients arrives; the Autoscaler
+// controller — not the experiment — adds a shard once the load sits above
+// its high watermark. The surge departs, leases lapse, and the controller
+// removes the least-populated shard again. The claim mirrors the elastic
+// figure's, with the decisions closed-loop: zero lost sessions and zero
+// client-visible failures across both controller-driven ring changes.
+type AutoscaleResult struct {
+	Nodes                 int
+	ShardsBefore          int
+	Replicas, WriteQuorum int
+	// Watermarks are mean sessions per shard.
+	HighWater, LowWater           float64
+	BaselineClients, SurgeClients int
+
+	// The controller's resize log, reduced to its headline actions.
+	Adds, Removes            int
+	AddedShard, RemovedShard int
+	AvgAtAdd, AvgAtRemove    float64
+	ResizeErrors             int
+
+	// SessionsAtPeak is the population high-water mark observed at the
+	// add decision; SessionsAtEnd after the drain.
+	SessionsAtPeak, SessionsAtEnd int
+
+	RingVersion     uint64
+	Converged       bool
+	MigratedEntries int
+
+	// LostAfterGrow/LostAtEnd count sessions unreadable after each
+	// controller action settled (claim: 0).
+	LostAfterGrow, LostAtEnd int
+	// FailuresBefore/FailuresAfter bracket client-visible failures around
+	// the whole autoscaling window.
+	FailuresBefore, FailuresAfter int64
+	TotalRequests                 int64
+
+	// Migration-pacer evidence: the budget range it actually used and how
+	// often it backed off under foreground latency.
+	PacerMinBudget, PacerMaxBudget int
+	PacerBackoffs                  int64
+}
+
+// FigureAutoscale runs the closed-loop resize experiment: 2 nodes on a
+// shared 2-shard × 3-replica W=2 ring with a short session lease, a
+// control plane ticking once a second with an Autoscaler and a
+// load-adaptive MigrationPacer, a baseline client population, and a
+// surge that arrives and later departs. All AddShard/RemoveShard calls
+// come from the controller.
+func FigureAutoscale(o Options) *AutoscaleResult {
+	baseline := o.clients(60)
+	surge := o.clients(600)
+	ce := newClusterEnvFull(o, 2, baseline/2, useSharedCluster, cluster.NodeConfig{},
+		func(k *sim.Kernel) *session.SSMCluster {
+			cl, err := session.NewSSMCluster(session.ClusterConfig{
+				Shards: 2, Replicas: 3, WriteQuorum: 2, Now: k.Now, LeaseTTL: time.Hour,
+			})
+			if err != nil {
+				panic("experiments: autoscale cluster: " + err.Error())
+			}
+			return cl
+		})
+	cl := ce.bricks
+	cfg := cl.Config()
+
+	// Watermarks from the capacity plan: the surge must sit well above
+	// the high water at the initial ring size, the post-drain baseline
+	// well below the low water at the grown size.
+	peak := float64(baseline + surge)
+	res := &AutoscaleResult{
+		Nodes:           2,
+		ShardsBefore:    len(cl.ShardIDs()),
+		Replicas:        cfg.Replicas,
+		WriteQuorum:     cfg.WriteQuorum,
+		HighWater:       peak / 4,
+		LowWater:        peak / 16,
+		BaselineClients: baseline,
+		SurgeClients:    surge,
+	}
+
+	// The control plane: probes sample the ring each tick; the
+	// autoscaler resizes it; the pacer adapts the migrator to client
+	// latency (fed from the recorder's op tap); the recovery controller
+	// keeps the brick-restart path on the same bus.
+	plane := controlplane.New(controlplane.Config{Clock: ce.kernel.Now, Cluster: cl})
+	scaler := controlplane.NewAutoscaler(cl, controlplane.AutoscalerConfig{
+		MinShards: 2, MaxShards: 3,
+		HighWater: res.HighWater, LowWater: res.LowWater,
+		Sustain: 3, Cooldown: o.scale(time.Minute),
+	})
+	pacer := controlplane.NewMigrationPacer(cl, controlplane.PacerConfig{
+		TargetP95: 80 * time.Millisecond,
+	})
+	rm := recovery.NewManager(ce.kernel, ce.nodes[0], recovery.Config{Threshold: 3})
+	rm.Bricks = cl
+	plane.Use(scaler)
+	plane.Use(pacer)
+	plane.Use(controlplane.NewRecoveryController(rm))
+	// The latency tap: every completed op streams off the recorder onto
+	// the bus, where the pacer watches the p95.
+	ce.recorder.SetOnOp(func(op metrics.Op) {
+		plane.ObserveOp(op.Latency(), op.OK)
+	})
+	pumpPlane(ce.kernel, plane, time.Second)
+	pumpReaper(ce.kernel, cl, 15*time.Second)
+
+	// Client monitors and the latency tap publish into the bus.
+	ce.emulator.OnFailure(func(clientID int, op string, resp workload.Response) {
+		plane.ReportFailure(op, "client-detector")
+	})
+
+	// --- baseline ------------------------------------------------------
+	ce.emulator.Start()
+	ce.kernel.RunFor(o.scale(3 * time.Minute))
+	res.FailuresBefore = ce.recorder.BadOps()
+
+	// --- surge arrives: the controller must grow the ring --------------
+	ds := experimentDataset(o)
+	surgeEm := workload.NewEmulator(ce.kernel, ce.lb, ce.recorder, workload.Config{
+		Clients:        surge,
+		ClientIDOffset: baseline,
+		Users:          int64(ds.Users),
+		Items:          int64(ds.Items),
+		Categories:     int64(ds.Categories),
+		Regions:        int64(ds.Regions),
+	})
+	surgeEm.OnFailure(func(clientID int, op string, resp workload.Response) {
+		plane.ReportFailure(op, "client-detector")
+	})
+	surgeEm.Start()
+	ce.kernel.RunFor(o.scale(6 * time.Minute))
+
+	// Every live session must be readable after the grow settled.
+	for _, id := range cl.SessionIDs() {
+		if _, err := cl.Read(id); err != nil {
+			res.LostAfterGrow++
+		}
+	}
+
+	// --- surge departs: users log out, the controller must shrink ------
+	surgeEm.Drain()
+	ce.kernel.RunFor(o.scale(10 * time.Minute))
+
+	ce.emulator.Stop()
+	ce.emulator.FlushActions()
+	surgeEm.FlushActions()
+	ce.kernel.RunFor(30 * time.Second)
+
+	for _, id := range cl.SessionIDs() {
+		if _, err := cl.Read(id); err != nil {
+			res.LostAtEnd++
+		}
+	}
+	res.SessionsAtEnd = cl.Len()
+	res.FailuresAfter = ce.recorder.BadOps()
+	res.TotalRequests = ce.recorder.GoodOps() + ce.recorder.BadOps()
+	res.RingVersion = cl.RingVersion()
+	res.Converged = !cl.Migrating()
+	res.MigratedEntries = cl.MigratedEntries()
+
+	for _, act := range scaler.Actions {
+		if act.Err != "" {
+			res.ResizeErrors++
+			continue
+		}
+		if act.Added {
+			res.Adds++
+			res.AddedShard = act.Shard
+			res.AvgAtAdd = act.AvgLoad
+			res.SessionsAtPeak = int(act.AvgLoad * float64(res.ShardsBefore))
+		} else {
+			res.Removes++
+			res.RemovedShard = act.Shard
+			res.AvgAtRemove = act.AvgLoad
+		}
+	}
+	st := pacer.Status().(controlplane.PacerStatus)
+	res.PacerMinBudget = st.MinUsed
+	res.PacerMaxBudget = st.MaxUsed
+	res.PacerBackoffs = st.Backoffs
+	return res
+}
+
+// String renders the autoscaling summary.
+func (r *AutoscaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Control-plane autoscaling (extension): %d-node cluster on a %d-shard × %d brick ring, W=%d\n",
+		r.Nodes, r.ShardsBefore, r.Replicas, r.WriteQuorum)
+	fmt.Fprintf(&b, "watermarks: add above %.0f sessions/shard, remove below %.0f; clients %d baseline + %d surge\n",
+		r.HighWater, r.LowWater, r.BaselineClients, r.SurgeClients)
+	fmt.Fprintf(&b, "grow:   controller added shard %d at %.0f sessions/shard (~%d sessions); lost after: %d (claim: 0)\n",
+		r.AddedShard, r.AvgAtAdd, r.SessionsAtPeak, r.LostAfterGrow)
+	fmt.Fprintf(&b, "shrink: controller removed shard %d at %.0f sessions/shard; lost at end: %d (claim: 0)\n",
+		r.RemovedShard, r.AvgAtRemove, r.LostAtEnd)
+	fmt.Fprintf(&b, "resizes: %d add / %d remove (errors: %d); ring generation %d; migration converged: %v (%d entries)\n",
+		r.Adds, r.Removes, r.ResizeErrors, r.RingVersion, r.Converged, r.MigratedEntries)
+	fmt.Fprintf(&b, "migration pacer: budget ranged %d..%d entries/step, %d latency backoffs\n",
+		r.PacerMinBudget, r.PacerMaxBudget, r.PacerBackoffs)
+	fmt.Fprintf(&b, "client-visible failures across both resizes: %d (claim: 0; %d requests total)\n",
+		r.FailuresAfter-r.FailuresBefore, r.TotalRequests)
+	fmt.Fprintf(&b, "sessions at end (post-drain): %d\n", r.SessionsAtEnd)
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/controlplane"
 	"repro/internal/faults"
 	"repro/internal/recovery"
 )
@@ -51,20 +52,15 @@ func FigureBrickCrash(o Options) *BrickCrashResult {
 	cfg := cl.Config()
 	res := &BrickCrashResult{Shards: cfg.Shards, Replicas: cfg.Replicas, WriteQuorum: cfg.WriteQuorum}
 
-	// Recovery manager with the brick store attached.
+	// Recovery manager with the brick store attached, fed through the
+	// control plane: the plane's brick probe publishes heartbeat loss
+	// once a second and the recovery controller forwards it into the
+	// manager's diagnosis (detection latency is threshold × tick).
 	rm := recovery.NewManager(e.kernel, e.node, recovery.Config{Threshold: 3})
 	rm.Bricks = cl
-	// Brick heartbeat monitor: once a second, report each brick whose
-	// heartbeat is missing (models the SSM's peer monitoring; detection
-	// latency is threshold × heartbeat interval).
-	var beat func()
-	beat = func() {
-		for _, name := range cl.DeadBricks() {
-			rm.ReportBrickFailure(name)
-		}
-		e.kernel.Schedule(time.Second, beat)
-	}
-	e.kernel.Schedule(time.Second, beat)
+	plane := controlplane.New(controlplane.Config{Clock: e.kernel.Now, Cluster: cl})
+	plane.Use(controlplane.NewRecoveryController(rm))
+	pumpPlane(e.kernel, plane, time.Second)
 
 	e.emulator.Start()
 	warm := o.scale(3 * time.Minute)

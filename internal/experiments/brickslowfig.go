@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/store/session"
+)
+
+// ------------------------------------------------ Brick slow (extension)
+
+// brickSlowRun is the latency view of one fail-stutter run: successful-
+// operation response-time percentiles before and after the brick
+// degrades, plus the cluster's routing counters.
+type brickSlowRun struct {
+	BaseP50, BaseP95, BaseP99 time.Duration
+	SlowP50, SlowP95, SlowP99 time.Duration
+	BaseMean, SlowMean        time.Duration
+	SlowServed, Bypasses      int
+	Failures                  int64
+}
+
+// BrickSlowResult is the fail-stutter experiment: one SSM brick of the
+// cluster degrades (it answers, but late — the fail-stutter model of
+// Ling et al.'s bricks) while emulated clients keep hammering the
+// application. With the cluster's slow-replica read routing enabled,
+// reads bypass the degraded brick and the client latency distribution
+// holds; with routing disabled, every session whose shard's first
+// replica is the slow brick pays the stutter, and the latency tail
+// collapses.
+type BrickSlowResult struct {
+	Shards, Replicas, WriteQuorum int
+	SlowBrick                     string
+	Penalty                       time.Duration
+
+	Routed, Unrouted brickSlowRun
+}
+
+// runBrickSlow runs one mode of the fail-stutter experiment.
+func runBrickSlow(o Options, routed bool, res *BrickSlowResult) brickSlowRun {
+	e := newEnv(o, o.clients(500), useSSMCluster, cluster.NodeConfig{})
+	cl := e.bricks
+	cl.SetSlowReadRouting(routed)
+	cfg := cl.Config()
+	res.Shards, res.Replicas, res.WriteQuorum = cfg.Shards, cfg.Replicas, cfg.WriteQuorum
+
+	// Tap successful-op latencies into before/after sample sets around
+	// the injection instant.
+	warm := o.scale(3 * time.Minute)
+	measure := o.scale(3 * time.Minute)
+	var base, slow []time.Duration
+	e.recorder.SetOnOp(func(op metrics.Op) {
+		if !op.OK {
+			return
+		}
+		if op.End < warm {
+			base = append(base, op.Latency())
+		} else {
+			slow = append(slow, op.Latency())
+		}
+	})
+
+	e.emulator.Start()
+	e.kernel.RunFor(warm)
+
+	// Degrade replica 0 of shard 0: the natural-order read head, so the
+	// unrouted baseline pays the stutter on every shard-0 session.
+	res.SlowBrick = "ssm/s0-r0"
+	res.Penalty = session.SlowBrickPenalty
+	if _, err := e.injector.Inject(faults.Spec{Kind: faults.BrickSlow, Component: res.SlowBrick}); err != nil {
+		panic("experiments: brick slow: " + err.Error())
+	}
+	failuresAtInject := e.recorder.BadOps()
+	e.kernel.RunFor(measure)
+	e.emulator.Stop()
+	e.emulator.FlushActions()
+	e.kernel.RunFor(30 * time.Second)
+
+	run := brickSlowRun{
+		BaseP50:    metrics.ExactQuantile(base, 0.50),
+		BaseP95:    metrics.ExactQuantile(base, 0.95),
+		BaseP99:    metrics.ExactQuantile(base, 0.99),
+		SlowP50:    metrics.ExactQuantile(slow, 0.50),
+		SlowP95:    metrics.ExactQuantile(slow, 0.95),
+		SlowP99:    metrics.ExactQuantile(slow, 0.99),
+		BaseMean:   meanDuration(base),
+		SlowMean:   meanDuration(slow),
+		SlowServed: cl.SlowServedReads(),
+		Bypasses:   cl.SlowBypasses(),
+		Failures:   e.recorder.BadOps() - failuresAtInject,
+	}
+	return run
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// FigureBrickSlow runs the fail-stutter experiment twice — slow-replica
+// read routing on, then off — on a single node backed by the standard
+// 4×3 W=2 brick cluster.
+func FigureBrickSlow(o Options) *BrickSlowResult {
+	res := &BrickSlowResult{}
+	res.Routed = runBrickSlow(o, true, res)
+	res.Unrouted = runBrickSlow(o, false, res)
+	return res
+}
+
+// String renders the fail-stutter comparison.
+func (r *BrickSlowResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fail-stutter brick (extension): %d×%d brick cluster, W=%d; %s degraded (+%v per stuttered read)\n",
+		r.Shards, r.Replicas, r.WriteQuorum, r.SlowBrick, r.Penalty)
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "successful-op latency", "routing on", "routing off")
+	row := func(name string, on, off time.Duration) {
+		fmt.Fprintf(&b, "%-28s %14v %14v\n", name, on.Round(time.Millisecond), off.Round(time.Millisecond))
+	}
+	row("p50 before degradation", r.Routed.BaseP50, r.Unrouted.BaseP50)
+	row("p50 while degraded", r.Routed.SlowP50, r.Unrouted.SlowP50)
+	row("p95 before degradation", r.Routed.BaseP95, r.Unrouted.BaseP95)
+	row("p95 while degraded", r.Routed.SlowP95, r.Unrouted.SlowP95)
+	row("p99 before degradation", r.Routed.BaseP99, r.Unrouted.BaseP99)
+	row("p99 while degraded", r.Routed.SlowP99, r.Unrouted.SlowP99)
+	row("mean while degraded", r.Routed.SlowMean, r.Unrouted.SlowMean)
+	fmt.Fprintf(&b, "reads served by the slow brick: %d (routing on) vs %d (routing off); bypasses: %d\n",
+		r.Routed.SlowServed, r.Unrouted.SlowServed, r.Routed.Bypasses)
+	fmt.Fprintf(&b, "client-visible failures while degraded: %d / %d (fail-stutter, not fail-stop: claim 0 both)\n",
+		r.Routed.Failures, r.Unrouted.Failures)
+	return b.String()
+}

@@ -318,3 +318,71 @@ func TestAblationDelayTradeoff(t *testing.T) {
 	}
 	t.Log("\n" + r.String())
 }
+
+func TestFigureAutoscaleClosedLoopResize(t *testing.T) {
+	r := FigureAutoscale(quick)
+	if r.Adds != 1 || r.Removes != 1 {
+		t.Fatalf("resizes = %d add / %d remove, want exactly 1 each (actions must come from the controller)", r.Adds, r.Removes)
+	}
+	if r.ResizeErrors != 0 {
+		t.Fatalf("%d resize actions hit actuator errors", r.ResizeErrors)
+	}
+	if r.RingVersion != 3 {
+		t.Fatalf("ring generation = %d, want 3 (initial + controller add + controller remove)", r.RingVersion)
+	}
+	if !r.Converged {
+		t.Fatal("migration did not converge after the controller's resizes")
+	}
+	if r.AvgAtAdd <= r.HighWater {
+		t.Fatalf("add fired at %.0f sessions/shard, below the %.0f high water", r.AvgAtAdd, r.HighWater)
+	}
+	if r.AvgAtRemove >= r.LowWater {
+		t.Fatalf("remove fired at %.0f sessions/shard, above the %.0f low water", r.AvgAtRemove, r.LowWater)
+	}
+	if n := r.LostAfterGrow + r.LostAtEnd; n != 0 {
+		t.Fatalf("lost %d sessions across the controller-driven resizes, want 0", n)
+	}
+	if delta := r.FailuresAfter - r.FailuresBefore; delta != 0 {
+		t.Fatalf("autoscaling surfaced %d client-visible failures, want 0", delta)
+	}
+	if r.MigratedEntries == 0 {
+		t.Fatal("vacuous run: the resizes migrated nothing")
+	}
+	// The pacer went to full throttle at least once (the post-drain ring
+	// is idle) and stayed within its bounds.
+	if r.PacerMaxBudget != 1024 {
+		t.Fatalf("pacer max budget = %d, want 1024 (idle system should migrate at full throttle)", r.PacerMaxBudget)
+	}
+	if r.PacerMinBudget < 16 {
+		t.Fatalf("pacer budget fell below its floor: %d", r.PacerMinBudget)
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestFigureBrickSlowRoutingHoldsTheTail(t *testing.T) {
+	r := FigureBrickSlow(quick)
+	// Fail-stutter, not fail-stop: nobody fails in either mode.
+	if r.Routed.Failures != 0 || r.Unrouted.Failures != 0 {
+		t.Fatalf("failures = %d routed / %d unrouted, want 0", r.Routed.Failures, r.Unrouted.Failures)
+	}
+	// With routing, the degraded brick serves nothing and the tail holds.
+	if r.Routed.SlowServed != 0 {
+		t.Fatalf("routing on still served %d reads from the slow brick", r.Routed.SlowServed)
+	}
+	if r.Routed.Bypasses == 0 {
+		t.Fatal("vacuous run: routing never actually bypassed the slow brick")
+	}
+	withRouting := r.Routed.SlowP99 - r.Routed.BaseP99
+	if withRouting > 50*time.Millisecond {
+		t.Fatalf("p99 grew %v under degradation despite routing", withRouting)
+	}
+	// Without routing, the slow brick serves its shard and the tail
+	// absorbs the stutter.
+	if r.Unrouted.SlowServed == 0 {
+		t.Fatal("routing off never read from the slow brick")
+	}
+	if gap := r.Unrouted.SlowP99 - r.Routed.SlowP99; gap < 100*time.Millisecond {
+		t.Fatalf("unrouted p99 only %v above routed, want the fail-stutter penalty to show", gap)
+	}
+	t.Log("\n" + r.String())
+}

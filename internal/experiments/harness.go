@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/controlplane"
 	"repro/internal/ebid"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -194,6 +195,14 @@ func newClusterEnv(o Options, nNodes, clientsPerNode int, kind storeKind) *clust
 }
 
 func newClusterEnvCfg(o Options, nNodes, clientsPerNode int, kind storeKind, nodeCfg cluster.NodeConfig) *clusterEnv {
+	return newClusterEnvFull(o, nNodes, clientsPerNode, kind, nodeCfg, nil)
+}
+
+// newClusterEnvFull is newClusterEnvCfg plus an optional brick-cluster
+// builder, so experiments that need a non-standard ring geometry (the
+// autoscaler figure starts small, with a short lease TTL) can supply
+// their own shared cluster.
+func newClusterEnvFull(o Options, nNodes, clientsPerNode int, kind storeKind, nodeCfg cluster.NodeConfig, bricks func(*sim.Kernel) *session.SSMCluster) *clusterEnv {
 	k := sim.NewKernel(o.seed())
 	d := db.New(nil)
 	ds := experimentDataset(o)
@@ -205,7 +214,11 @@ func newClusterEnvCfg(o Options, nNodes, clientsPerNode int, kind storeKind, nod
 	case useSSM:
 		ce.sharedSSM = session.NewSSM(k.Now, time.Hour)
 	case useSharedCluster:
-		ce.bricks = newBrickCluster(k)
+		if bricks != nil {
+			ce.bricks = bricks(k)
+		} else {
+			ce.bricks = newBrickCluster(k)
+		}
 	}
 	for i := 0; i < nNodes; i++ {
 		var store session.Store
@@ -243,15 +256,31 @@ func nodeName(i int) string {
 	return "node" + string(rune('0'+i))
 }
 
-// pumpMigration schedules a recurring kernel event advancing the brick
-// cluster's migrator — the simulation analog of the live server's
-// background migration goroutine. It keeps rescheduling itself; the
-// step is a cheap no-op while no ring change is in flight.
-func pumpMigration(k *sim.Kernel, cl *session.SSMCluster, every time.Duration, batch int) {
+// pumpEvery schedules fn as a recurring kernel event — the simulation
+// analog of a live server's background ticker goroutine.
+func pumpEvery(k *sim.Kernel, every time.Duration, fn func()) {
 	var tick func()
 	tick = func() {
-		cl.MigrateStep(batch)
+		fn()
 		k.Schedule(every, tick)
 	}
 	k.Schedule(every, tick)
+}
+
+// pumpMigration advances the brick cluster's migrator on a recurring
+// schedule; the step is a cheap no-op while no ring change is in flight.
+func pumpMigration(k *sim.Kernel, cl *session.SSMCluster, every time.Duration, batch int) {
+	pumpEvery(k, every, func() { cl.MigrateStep(batch) })
+}
+
+// pumpPlane runs one control-plane observe–decide–act round per period.
+func pumpPlane(k *sim.Kernel, plane *controlplane.Plane, every time.Duration) {
+	pumpEvery(k, every, plane.Tick)
+}
+
+// pumpReaper runs recurring lease GC on the brick cluster. Without it, a
+// load-watching controller would keep counting sessions whose leases
+// lapsed long ago.
+func pumpReaper(k *sim.Kernel, cl *session.SSMCluster, every time.Duration) {
+	pumpEvery(k, every, func() { cl.ReapExpired() })
 }

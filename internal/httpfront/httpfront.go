@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/ebid"
 	"repro/internal/store/session"
@@ -44,7 +45,11 @@ type Front struct {
 	// the elastic-ring control surface under /admin/ssm/ (shard add,
 	// shard remove, ring status). Nil for the other stores.
 	Cluster *session.SSMCluster
-	start   time.Time
+	// Plane, when set, receives every request's outcome as bus signals
+	// (op latency, failure reports) and serves its operator status at
+	// /admin/controlplane/status.
+	Plane *controlplane.Plane
+	start time.Time
 }
 
 // New builds a front end for the given application. The server is put in
@@ -69,7 +74,18 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("/admin/ssm/addshard", f.serveAddShard)
 	mux.HandleFunc("/admin/ssm/removeshard", f.serveRemoveShard)
 	mux.HandleFunc("/admin/ssm/elastic", f.serveElastic)
+	mux.HandleFunc("/admin/controlplane/status", f.serveControlPlane)
 	return mux
+}
+
+// serveControlPlane handles GET /admin/controlplane/status: the plane's
+// signal counters and each controller's snapshot.
+func (f *Front) serveControlPlane(w http.ResponseWriter, r *http.Request) {
+	if f.Plane == nil {
+		http.Error(w, "no control plane is running", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, f.Plane.Status())
 }
 
 // cluster gates the elastic endpoints on a brick-cluster store.
@@ -228,7 +244,14 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context is the root of the call's shepherd: client
 	// disconnects, lease expiry and µRB kills all cancel it.
+	began := time.Now()
 	body, err := f.App.Execute(r.Context(), call)
+	if f.Plane != nil {
+		f.Plane.ObserveOp(time.Since(began), err == nil)
+		if err != nil {
+			f.Plane.ReportFailure(op, failureKind(err))
+		}
+	}
 	if err != nil {
 		f.writeOpError(w, err)
 		return
@@ -236,6 +259,24 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 	_ = info
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintln(w, body)
+}
+
+// failureKind classifies an invocation failure for the control plane's
+// failure signals, mirroring the categories of writeOpError.
+func failureKind(err error) string {
+	var ra *core.RetryAfterError
+	switch {
+	case errors.As(err, &ra):
+		return "recovering"
+	case errors.Is(err, core.ErrKilled):
+		return "killed"
+	case errors.Is(err, core.ErrLeaseExpired) || errors.Is(err, context.DeadlineExceeded):
+		return "lease-expired"
+	case errors.Is(err, core.ErrHang):
+		return "hang"
+	default:
+		return "http-error"
+	}
 }
 
 // writeOpError maps invocation failures to HTTP statuses.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/ebid"
 	"repro/internal/faults"
 	"repro/internal/store/db"
@@ -474,5 +475,53 @@ func TestElasticEndpointsRequireClusterStore(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("elastic status = %d, want 404 without a cluster store", resp.StatusCode)
+	}
+}
+
+func TestControlPlaneStatusEndpoint(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	// Without a plane attached, the endpoint is absent.
+	resp, err := http.Get(srv.URL + "/admin/controlplane/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status without plane = %d, want 404", resp.StatusCode)
+	}
+
+	start := time.Now()
+	f.Plane = controlplane.New(controlplane.Config{Clock: func() time.Duration { return time.Since(start) }})
+
+	// Requests now stream signals onto the bus: one success, one failure.
+	if _, err := http.Get(srv.URL + "/ebid/ViewItem?item=1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL + "/ebid/AboutMe"); err != nil { // not logged in → failure
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(srv.URL + "/admin/controlplane/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var st struct {
+		Signals map[string]int64 `json:"signals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Signals["latency"] != 2 {
+		t.Fatalf("latency signals = %d, want 2", st.Signals["latency"])
+	}
+	if st.Signals["failure"] != 1 {
+		t.Fatalf("failure signals = %d, want 1 (AboutMe without a session)", st.Signals["failure"])
 	}
 }

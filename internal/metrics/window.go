@@ -1,0 +1,73 @@
+package metrics
+
+import "time"
+
+// Window is a sliding-window latency sample buffer for control loops: it
+// keeps every sample observed within the trailing width and answers exact
+// quantile queries over them. Unlike Histogram (cumulative over a whole
+// run), a Window forgets — which is what a controller pacing itself
+// against *current* foreground latency needs.
+//
+// Samples must be observed in non-decreasing timestamp order (virtual or
+// wall time both work); Observe prunes everything older than the window
+// as it appends, so memory is bounded by the op rate times the width.
+// Window is not safe for concurrent use; callers serialize (the control
+// plane holds its own lock).
+type Window struct {
+	width  time.Duration
+	at     []time.Duration // sample timestamps, non-decreasing
+	values []time.Duration // corresponding latencies
+}
+
+// DefaultWindowWidth is the trailing width control loops default to.
+const DefaultWindowWidth = 15 * time.Second
+
+// NewWindow builds a sliding window of the given trailing width
+// (DefaultWindowWidth when non-positive).
+func NewWindow(width time.Duration) *Window {
+	if width <= 0 {
+		width = DefaultWindowWidth
+	}
+	return &Window{width: width}
+}
+
+// Width returns the trailing width.
+func (w *Window) Width() time.Duration { return w.width }
+
+// Observe appends one sample taken at the given time and prunes samples
+// that have slid out of the window.
+func (w *Window) Observe(at, v time.Duration) {
+	w.at = append(w.at, at)
+	w.values = append(w.values, v)
+	w.Prune(at)
+}
+
+// Prune drops samples outside the trailing half-open window (now-width,
+// now]. Controllers call it on ticks so an idle stream (no new
+// observations) still empties the window.
+func (w *Window) Prune(now time.Duration) {
+	cut := now - w.width
+	i := 0
+	for i < len(w.at) && w.at[i] <= cut {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	n := copy(w.at, w.at[i:])
+	w.at = w.at[:n]
+	n = copy(w.values, w.values[i:])
+	w.values = w.values[:n]
+}
+
+// Count returns the number of samples currently inside the window.
+func (w *Window) Count() int { return len(w.at) }
+
+// Quantile returns the exact q-quantile of the samples in the window
+// (zero when empty).
+func (w *Window) Quantile(q float64) time.Duration {
+	if len(w.values) == 0 {
+		return 0
+	}
+	return ExactQuantile(w.values, q)
+}

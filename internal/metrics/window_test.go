@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowQuantileSlides(t *testing.T) {
+	w := NewWindow(10 * time.Second)
+	for i := 1; i <= 10; i++ {
+		w.Observe(time.Duration(i)*time.Second, time.Duration(i)*time.Millisecond)
+	}
+	if w.Count() != 10 {
+		t.Fatalf("count = %d, want 10", w.Count())
+	}
+	if got := w.Quantile(1); got != 10*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := w.Quantile(0.5); got != 5*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Sliding forward drops the early (small) samples: the median rises.
+	for i := 11; i <= 15; i++ {
+		w.Observe(time.Duration(i)*time.Second, time.Duration(i)*time.Millisecond)
+	}
+	if w.Count() != 10 { // samples at 6s..15s remain
+		t.Fatalf("count after slide = %d, want 10", w.Count())
+	}
+	if got := w.Quantile(0.5); got != 10*time.Millisecond {
+		t.Fatalf("p50 after slide = %v, want 10ms", got)
+	}
+}
+
+func TestWindowPruneEmptiesIdleStream(t *testing.T) {
+	w := NewWindow(5 * time.Second)
+	w.Observe(time.Second, time.Millisecond)
+	w.Observe(2*time.Second, time.Millisecond)
+	w.Prune(30 * time.Second)
+	if w.Count() != 0 {
+		t.Fatalf("count = %d, want 0 after idle prune", w.Count())
+	}
+	if got := w.Quantile(0.95); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestWindowDefaultWidth(t *testing.T) {
+	if w := NewWindow(0); w.Width() != DefaultWindowWidth {
+		t.Fatalf("width = %v, want default", w.Width())
+	}
+}
+
+func TestRecorderOnOpObserver(t *testing.T) {
+	r := NewRecorder(time.Second, 8*time.Second)
+	var seen []Op
+	r.SetOnOp(func(op Op) { seen = append(seen, op) })
+	ops := []Op{
+		{Start: 0, End: 10 * time.Millisecond, Name: "ViewItem", OK: true},
+		{Start: 0, End: 20 * time.Millisecond, Name: "MakeBid", OK: false},
+	}
+	r.Action(ops, true)
+	if len(seen) != 2 || seen[0].Name != "ViewItem" || seen[1].Name != "MakeBid" {
+		t.Fatalf("observed = %+v", seen)
+	}
+	r.SetOnOp(nil)
+	r.Action(ops, false)
+	if len(seen) != 2 {
+		t.Fatal("observer fired after removal")
+	}
+}

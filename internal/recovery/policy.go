@@ -1,0 +1,88 @@
+package recovery
+
+import (
+	"repro/internal/core"
+	"repro/internal/ebid"
+)
+
+// Decision is the action an EscalationPolicy chose for one diagnosed
+// target at one escalation level.
+type Decision struct {
+	// Scope is the reboot scope of the action.
+	Scope core.Scope
+	// Microreboot, when true, microreboots the diagnosed target itself
+	// (its recovery group) instead of rebooting a whole scope.
+	Microreboot bool
+	// GiveUp ends automatic recovery: the manager notifies a human with
+	// Reason and stops acting.
+	GiveUp bool
+	Reason string
+}
+
+// EscalationPolicy decides which recovery action to take for a diagnosed
+// target. The manager computes the escalation level (0 on a fresh
+// diagnosis, +1 each time the same target recurs within the escalation
+// window) and delegates the decide step here, so alternative policies can
+// be evaluated without forking the manager: the paper's recursive ladder
+// (LadderPolicy), the legacy "one big hammer" baseline (ForceScopePolicy),
+// or anything a test dreams up.
+type EscalationPolicy interface {
+	// Name identifies the policy in diagnostics.
+	Name() string
+	// Decide maps (diagnosed target, escalation level) to an action.
+	Decide(target string, level int) Decision
+	// BrickRecoveryFirst reports whether dead session-state bricks should
+	// be restarted before the component action — a dead brick is the
+	// cheapest explanation for widespread session failures.
+	BrickRecoveryFirst() bool
+}
+
+// LadderPolicy is the paper's recursive recovery ladder: always try the
+// cheapest reboot first, escalate on recurrence — EJB µRB → WAR → app →
+// process → node → human.
+type LadderPolicy struct{}
+
+// Name implements EscalationPolicy.
+func (LadderPolicy) Name() string { return "ladder" }
+
+// BrickRecoveryFirst implements EscalationPolicy: a brick restart is as
+// cheap as an EJB µRB, so it always goes first.
+func (LadderPolicy) BrickRecoveryFirst() bool { return true }
+
+// Decide implements EscalationPolicy.
+func (LadderPolicy) Decide(target string, level int) Decision {
+	switch level {
+	case 0:
+		if target == ebid.WAR {
+			return Decision{Scope: core.ScopeWAR}
+		}
+		return Decision{Scope: core.ScopeComponent, Microreboot: true}
+	case 1:
+		return Decision{Scope: core.ScopeWAR}
+	case 2:
+		return Decision{Scope: core.ScopeApp}
+	case 3:
+		return Decision{Scope: core.ScopeProcess}
+	case 4:
+		return Decision{Scope: core.ScopeNode}
+	default:
+		return Decision{GiveUp: true, Reason: "recursive recovery policy exhausted for " + target}
+	}
+}
+
+// ForceScopePolicy recovers everything with one fixed scope, whatever the
+// diagnosis says — the legacy "restart the JVM for every failure"
+// operation the paper uses as its baseline. It never restarts bricks
+// first: the baseline must not quietly benefit from cheap brick recovery.
+type ForceScopePolicy struct {
+	Scope core.Scope
+}
+
+// Name implements EscalationPolicy.
+func (p ForceScopePolicy) Name() string { return "force-" + p.Scope.String() }
+
+// BrickRecoveryFirst implements EscalationPolicy.
+func (ForceScopePolicy) BrickRecoveryFirst() bool { return false }
+
+// Decide implements EscalationPolicy.
+func (p ForceScopePolicy) Decide(string, int) Decision { return Decision{Scope: p.Scope} }

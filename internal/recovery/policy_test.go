@@ -1,0 +1,218 @@
+package recovery
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ebid"
+	"repro/internal/sim"
+)
+
+func TestLadderPolicyDecisions(t *testing.T) {
+	p := LadderPolicy{}
+	cases := []struct {
+		target string
+		level  int
+		want   Decision
+	}{
+		{ebid.ViewItem, 0, Decision{Scope: core.ScopeComponent, Microreboot: true}},
+		{ebid.WAR, 0, Decision{Scope: core.ScopeWAR}},
+		{ebid.ViewItem, 1, Decision{Scope: core.ScopeWAR}},
+		{ebid.ViewItem, 2, Decision{Scope: core.ScopeApp}},
+		{ebid.ViewItem, 3, Decision{Scope: core.ScopeProcess}},
+		{ebid.ViewItem, 4, Decision{Scope: core.ScopeNode}},
+	}
+	for _, c := range cases {
+		if got := p.Decide(c.target, c.level); got != c.want {
+			t.Errorf("Decide(%s, %d) = %+v, want %+v", c.target, c.level, got, c.want)
+		}
+	}
+	if d := p.Decide(ebid.ViewItem, 5); !d.GiveUp || d.Reason == "" {
+		t.Fatalf("level 5 = %+v, want give-up with a reason", p.Decide(ebid.ViewItem, 5))
+	}
+	if !p.BrickRecoveryFirst() {
+		t.Fatal("ladder policy must try brick recovery first")
+	}
+}
+
+// driveToLevel pushes the manager through repeated recoveries of the same
+// target so the escalation level climbs one per round.
+func driveToLevel(k *sim.Kernel, m *Manager, rounds int) {
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < 2; j++ {
+			m.Report(Report{Op: ebid.ViewItem})
+		}
+		k.RunFor(30 * time.Second)
+	}
+}
+
+func TestUpperLadderProcessAndNodeReboots(t *testing.T) {
+	// Levels 3 and 4 of the ladder — the expensive end the Figure 1
+	// experiments never reach — must issue process and node reboots
+	// before the policy exhausts.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, Config{Threshold: 2, Grace: time.Second, EscalationWindow: 10 * time.Minute})
+	driveToLevel(k, m, 5) // levels 0..4
+	want := []core.Scope{core.ScopeWAR, core.ScopeApp, core.ScopeProcess, core.ScopeNode}
+	if !reflect.DeepEqual(fr.scopes, want) {
+		t.Fatalf("scopes = %v, want %v", fr.scopes, want)
+	}
+	if m.HumanNotified() {
+		t.Fatal("gave up before the ladder was exhausted")
+	}
+	if got := m.Actions[len(m.Actions)-1].Scope; got != core.ScopeNode {
+		t.Fatalf("last action scope = %v, want node reboot", got)
+	}
+}
+
+func TestNotifyHumanOnLadderExhaustion(t *testing.T) {
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	var human []string
+	m := NewManager(k, fr, Config{Threshold: 2, Grace: time.Second, EscalationWindow: 10 * time.Minute})
+	m.NotifyHuman = func(r string) { human = append(human, r) }
+	var events []string
+	m.OnRecoveryStart = func() { events = append(events, "start") }
+	m.OnRecoveryEnd = func() { events = append(events, "end") }
+	driveToLevel(k, m, 6) // one past the node reboot
+	if len(human) != 1 {
+		t.Fatalf("human notifications = %v, want exactly one", human)
+	}
+	if !m.HumanNotified() {
+		t.Fatal("HumanNotified() = false after exhaustion")
+	}
+	// The give-up still brackets itself with start/end so the LB
+	// un-drains the node (5 recoveries + the give-up = 6 pairs).
+	if len(events) != 12 || events[10] != "start" || events[11] != "end" {
+		t.Fatalf("LB events = %v, want 6 start/end pairs", events)
+	}
+	// Once the human owns the incident, further evidence is ignored.
+	driveToLevel(k, m, 1)
+	if len(fr.scopes) != 4 || len(human) != 1 {
+		t.Fatal("manager kept acting after notifying the human")
+	}
+}
+
+// replayActions runs the same report stream through a manager built with
+// cfg and returns its action log.
+func replayActions(t *testing.T, cfg Config) []Action {
+	t.Helper()
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	m := NewManager(k, fr, cfg)
+	m.Bricks = &fakeBricks{dead: []string{"ssm/s0-r0"}}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			m.Report(Report{Op: ebid.MakeBid, Kind: "http-error"})
+		}
+		m.ReportBrickFailure("ssm/s0-r0")
+		k.RunFor(30 * time.Second)
+	}
+	return m.Actions
+}
+
+func TestForceScopePolicyMatchesForceScopeConfig(t *testing.T) {
+	// Regression for the diagnosis/policy split: ForceScope expressed as
+	// a policy must produce the exact action log the legacy ForceScope
+	// config field produced for the same report stream — including NOT
+	// taking the cheap brick-recovery path.
+	legacy := replayActions(t, Config{Threshold: 3, ForceScope: core.ScopeProcess})
+	policy := replayActions(t, Config{Threshold: 3, Policy: ForceScopePolicy{Scope: core.ScopeProcess}})
+	if len(legacy) == 0 {
+		t.Fatal("baseline produced no actions")
+	}
+	if !reflect.DeepEqual(actionsSummary(legacy), actionsSummary(policy)) {
+		t.Fatalf("action logs diverge:\nlegacy: %+v\npolicy: %+v", legacy, policy)
+	}
+	for _, a := range legacy {
+		if a.Target == "ssm-bricks" {
+			t.Fatal("ForceScope baseline used brick recovery")
+		}
+		if a.Scope != core.ScopeProcess {
+			t.Fatalf("scope = %v, want forced process restart", a.Scope)
+		}
+	}
+}
+
+// actionsSummary projects the comparable fields of an action log (the
+// Reboot pointers differ across runs by construction).
+func actionsSummary(actions []Action) []Action {
+	out := make([]Action, len(actions))
+	for i, a := range actions {
+		out[i] = Action{At: a.At, Target: a.Target, Scope: a.Scope}
+	}
+	return out
+}
+
+// jumpPolicy is a custom escalation policy: straight to a process
+// restart, give up on the first recurrence.
+type jumpPolicy struct{}
+
+func (jumpPolicy) Name() string             { return "jump" }
+func (jumpPolicy) BrickRecoveryFirst() bool { return true }
+func (jumpPolicy) Decide(target string, level int) Decision {
+	if level > 0 {
+		return Decision{GiveUp: true, Reason: "jump policy: " + target + " recurred"}
+	}
+	return Decision{Scope: core.ScopeProcess}
+}
+
+func TestCustomPolicyPluggedIn(t *testing.T) {
+	// The point of the split: a new policy runs under the stock manager
+	// without forking it.
+	k := sim.NewKernel(1)
+	fr := &fakeRebooter{}
+	var human []string
+	m := NewManager(k, fr, Config{Threshold: 2, Grace: time.Second, Policy: jumpPolicy{}})
+	m.NotifyHuman = func(r string) { human = append(human, r) }
+	driveToLevel(k, m, 2)
+	if len(fr.scopes) != 1 || fr.scopes[0] != core.ScopeProcess {
+		t.Fatalf("scopes = %v, want one process restart", fr.scopes)
+	}
+	if len(human) != 1 || human[0] != "jump policy: "+ebid.ViewItem+" recurred" {
+		t.Fatalf("human = %v", human)
+	}
+	if m.Policy().Name() != "jump" {
+		t.Fatalf("Policy().Name() = %q", m.Policy().Name())
+	}
+}
+
+func TestDiagnosisTopDeterministicTieBreak(t *testing.T) {
+	// Guard for the single-pass Top rewrite: equal scores must always
+	// resolve to the alphabetically-first suspect, whatever the map
+	// iteration order happens to be.
+	for i := 0; i < 50; i++ {
+		d := NewDiagnosis(Config{})
+		_, _ = d.ObserveBrick("zeta")
+		_, _ = d.ObserveBrick("alpha")
+		_, _ = d.ObserveBrick("mid")
+		if name, score := d.Top(); name != "alpha" || score != 1 {
+			t.Fatalf("Top() = %q/%v, want alpha/1", name, score)
+		}
+	}
+	d := NewDiagnosis(Config{})
+	if name, score := d.Top(); name != "" || score != -1 {
+		t.Fatalf("empty Top() = %q/%v", name, score)
+	}
+}
+
+func TestDiagnosisThresholdAndReset(t *testing.T) {
+	d := NewDiagnosis(Config{Threshold: 2})
+	if _, triggered := d.ObserveBrick("ssm/s0-r0"); triggered {
+		t.Fatal("triggered below threshold")
+	}
+	name, triggered := d.ObserveBrick("ssm/s0-r0")
+	if !triggered || name != "ssm/s0-r0" {
+		t.Fatalf("ObserveBrick = %q/%v, want trigger on the brick", name, triggered)
+	}
+	if got := d.Scores()["ssm/s0-r0"]; got != 2 {
+		t.Fatalf("score = %v, want 2", got)
+	}
+	d.Reset()
+	if len(d.Scores()) != 0 {
+		t.Fatal("Reset left scores behind")
+	}
+}

@@ -1,10 +1,14 @@
-// Package recovery implements the paper's recovery manager (RM): it
-// listens for failure reports from the client-side monitors, performs
-// simple score-based diagnosis using the static URL→component-path
-// mapping, and recovers the system with a recursive recovery policy that
-// always tries the cheapest reboot first — EJB microreboot, then the WAR,
-// then the whole application, then a JVM/JBoss process restart, then an
-// operating-system reboot, and finally notifies a human.
+// Package recovery implements the paper's recovery manager (RM) as the
+// diagnose/decide half of an observe–decide–act control loop: it listens
+// for failure reports from the client-side monitors, performs simple
+// score-based diagnosis using the static URL→component-path mapping
+// (Diagnosis), and recovers the system through a pluggable
+// EscalationPolicy. The default LadderPolicy is the paper's recursive
+// recovery ladder — always try the cheapest reboot first: EJB
+// microreboot, then the WAR, then the whole application, then a
+// JVM/JBoss process restart, then an operating-system reboot, and
+// finally notify a human. ForceScopePolicy models the legacy "restart
+// the JVM for everything" baseline.
 //
 // The diagnosis is deliberately simplistic and yields false positives;
 // part of the paper's point is that cheap recovery makes sloppy diagnosis
@@ -12,11 +16,9 @@
 package recovery
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/ebid"
 	"repro/internal/sim"
 )
 
@@ -69,9 +71,14 @@ type Config struct {
 	// DetectionDelay postpones the recovery action after the threshold
 	// is crossed (models Tdet in the Figure 5 experiments).
 	DetectionDelay time.Duration
+	// Policy decides the recovery action for a diagnosed target (default
+	// LadderPolicy, the paper's recursive ladder). Policy wins over
+	// ForceScope when both are set.
+	Policy EscalationPolicy
 	// ForceScope, when non-zero, makes every recovery action use this
-	// scope instead of the recursive policy — used to model legacy
-	// "restart the JVM for everything" operation as the baseline.
+	// scope instead of the recursive policy — shorthand for Policy:
+	// ForceScopePolicy{Scope}, kept to model legacy "restart the JVM for
+	// everything" operation as the baseline.
 	ForceScope core.Scope
 }
 
@@ -97,6 +104,13 @@ func (c *Config) fill() {
 	if c.EntityWeight == 0 {
 		c.EntityWeight = 0.6
 	}
+	if c.Policy == nil {
+		if c.ForceScope != 0 {
+			c.Policy = ForceScopePolicy{Scope: c.ForceScope}
+		} else {
+			c.Policy = LadderPolicy{}
+		}
+	}
 }
 
 // Action describes one recovery action RM took.
@@ -107,17 +121,22 @@ type Action struct {
 	Reboot *core.Reboot
 }
 
-// Manager is the recovery manager for one node.
+// Manager is the recovery manager for one node: the Diagnosis engine
+// accumulates evidence, the EscalationPolicy picks actions, and the
+// manager owns the loop state in between (grace muting, escalation
+// level, the action log).
 type Manager struct {
 	kernel *sim.Kernel
 	target Rebooter
 	cfg    Config
 
-	scores          map[string]float64
+	diag            *Diagnosis
+	policy          EscalationPolicy
 	mutedUntil      time.Duration
 	pendingRecovery bool
 
-	// lastTarget/lastLevel drive the recursive escalation policy.
+	// lastTarget/lastLevel drive the escalation-level accounting handed
+	// to the policy.
 	lastTarget string
 	lastLevel  int
 	lastDone   time.Duration
@@ -125,9 +144,9 @@ type Manager struct {
 	// Actions is the recovery log.
 	Actions []Action
 	// Bricks, when set, lets RM restart dead session-state bricks. It is
-	// consulted before the component policy: a dead brick is the cheapest
-	// explanation for widespread session failures, and restarting it is
-	// as cheap as an EJB µRB.
+	// consulted before the component policy (when the policy allows): a
+	// dead brick is the cheapest explanation for widespread session
+	// failures, and restarting it is as cheap as an EJB µRB.
 	Bricks BrickStore
 	// OnRecoveryStart/End let the load balancer be notified for
 	// failover, as the paper's RM notifies LB.
@@ -147,79 +166,56 @@ func NewManager(k *sim.Kernel, target Rebooter, cfg Config) *Manager {
 		kernel: k,
 		target: target,
 		cfg:    cfg,
-		scores: map[string]float64{},
+		diag:   NewDiagnosis(cfg),
+		policy: cfg.Policy,
 	}
 }
+
+// Policy returns the manager's escalation policy.
+func (m *Manager) Policy() EscalationPolicy { return m.policy }
+
+// Diagnosis exposes the diagnosis engine (operator status surfaces read
+// the live suspicion table through it).
+func (m *Manager) Diagnosis() *Diagnosis { return m.diag }
 
 // HumanNotified reports whether RM has given up on automatic recovery.
 func (m *Manager) HumanNotified() bool { return m.humanNotified }
 
+// muted reports whether new evidence should be ignored right now:
+// recovery in flight, inside the post-recovery grace window, or the
+// human has taken over.
+func (m *Manager) muted() bool {
+	return m.pendingRecovery || m.target.Recovering() || m.kernel.Now() < m.mutedUntil || m.humanNotified
+}
+
 // Report feeds one failure observation into the manager (monitors send
 // these the way the paper's monitors send UDP failure reports).
 func (m *Manager) Report(r Report) {
-	if m.pendingRecovery || m.target.Recovering() || m.kernel.Now() < m.mutedUntil || m.humanNotified {
+	if m.muted() {
 		return
 	}
-	path := ebid.PathFor(r.Op)
-	if len(path) == 0 {
-		// Unknown URL: all we can blame is the web tier, at full weight.
-		m.scores[ebid.WAR] += m.cfg.SessionWeight
-	}
-	for _, comp := range path {
-		m.scores[comp] += m.weightOf(comp, r.Op)
-	}
-	if name, score := m.top(); score >= m.cfg.Threshold {
+	if name, triggered := m.diag.ObserveFailure(r); triggered {
 		m.trigger(name)
 	}
 }
 
 // ReportBrickFailure feeds one brick heartbeat-loss observation into the
 // manager (the SSM's brick monitors send these the way the paper's
-// client monitors send UDP failure reports). Brick names score like
-// components; crossing the threshold triggers recovery, and the brick
-// path in recover restarts the dead brick.
+// client monitors send UDP failure reports).
 func (m *Manager) ReportBrickFailure(brick string) {
-	if m.pendingRecovery || m.target.Recovering() || m.kernel.Now() < m.mutedUntil || m.humanNotified {
+	if m.muted() {
 		return
 	}
-	m.scores[brick] += m.cfg.SessionWeight
-	if name, score := m.top(); score >= m.cfg.Threshold {
+	if name, triggered := m.diag.ObserveBrick(brick); triggered {
 		m.trigger(name)
 	}
 }
 
-func (m *Manager) weightOf(comp, op string) float64 {
-	if comp == ebid.WAR {
-		return m.cfg.WARWeight
-	}
-	if comp == op {
-		return m.cfg.SessionWeight
-	}
-	return m.cfg.EntityWeight
-}
-
-// top returns the highest-scoring component (ties broken alphabetically
-// for determinism).
-func (m *Manager) top() (string, float64) {
-	var names []string
-	for n := range m.scores {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	best, bestScore := "", -1.0
-	for _, n := range names {
-		if m.scores[n] > bestScore {
-			best, bestScore = n, m.scores[n]
-		}
-	}
-	return best, bestScore
-}
-
-// trigger runs the recursive recovery policy against the diagnosed
-// component, optionally after the configured detection delay.
+// trigger runs the recovery policy against the diagnosed component,
+// optionally after the configured detection delay.
 func (m *Manager) trigger(name string) {
 	m.pendingRecovery = true
-	m.scores = map[string]float64{}
+	m.diag.Reset()
 	fire := func() { m.recover(name) }
 	if m.cfg.DetectionDelay > 0 {
 		m.kernel.Schedule(m.cfg.DetectionDelay, fire)
@@ -228,17 +224,16 @@ func (m *Manager) trigger(name string) {
 	}
 }
 
-// recover picks the policy level. Repeated recovery of the same target
-// within the escalation window moves one level up: EJB µRB → WAR → app →
-// process → node → human.
+// recover computes the escalation level (repeated recovery of the same
+// target within the escalation window moves one level up) and acts on
+// the policy's decision.
 func (m *Manager) recover(name string) {
-	// Dead session-state bricks come first: they are the cheapest
-	// recovery (a brick µRB plus re-replication) and the likeliest cause
-	// of store-wide session failures. If the diagnosis was wrong, the
-	// failures persist and the next trigger walks the component policy.
-	// ForceScope wins, though — the legacy "restart the JVM for
-	// everything" baseline must not quietly benefit from brick recovery.
-	if m.Bricks != nil && m.cfg.ForceScope == 0 {
+	// Dead session-state bricks come first when the policy permits: they
+	// are the cheapest recovery (a brick µRB plus re-replication) and the
+	// likeliest cause of store-wide session failures. If the diagnosis
+	// was wrong, the failures persist and the next trigger walks the
+	// component policy.
+	if m.Bricks != nil && m.policy.BrickRecoveryFirst() {
 		if dead := m.Bricks.DeadBricks(); len(dead) > 0 {
 			m.recoverBricks(dead)
 			return
@@ -254,50 +249,28 @@ func (m *Manager) recover(name string) {
 	if m.OnRecoveryStart != nil {
 		m.OnRecoveryStart()
 	}
-	var (
-		rb    *core.Reboot
-		err   error
-		scope core.Scope
-	)
-	if m.cfg.ForceScope != 0 {
-		scope = m.cfg.ForceScope
-		rb, err = m.target.RebootScope(scope)
-		m.finishRecovery(name, scope, rb, err)
-		return
-	}
-	switch level {
-	case 0:
-		scope = core.ScopeComponent
-		if name == ebid.WAR {
-			scope = core.ScopeWAR
-			rb, err = m.target.RebootScope(core.ScopeWAR)
-		} else {
-			rb, err = m.target.Microreboot(name)
-		}
-	case 1:
-		scope = core.ScopeWAR
-		rb, err = m.target.RebootScope(core.ScopeWAR)
-	case 2:
-		scope = core.ScopeApp
-		rb, err = m.target.RebootScope(core.ScopeApp)
-	case 3:
-		scope = core.ScopeProcess
-		rb, err = m.target.RebootScope(core.ScopeProcess)
-	case 4:
-		scope = core.ScopeNode
-		rb, err = m.target.RebootScope(core.ScopeNode)
-	default:
+	d := m.policy.Decide(name, level)
+	if d.GiveUp {
 		m.humanNotified = true
 		m.pendingRecovery = false
 		if m.NotifyHuman != nil {
-			m.NotifyHuman("recursive recovery policy exhausted for " + name)
+			m.NotifyHuman(d.Reason)
 		}
 		if m.OnRecoveryEnd != nil {
 			m.OnRecoveryEnd()
 		}
 		return
 	}
-	m.finishRecovery(name, scope, rb, err)
+	var (
+		rb  *core.Reboot
+		err error
+	)
+	if d.Microreboot {
+		rb, err = m.target.Microreboot(name)
+	} else {
+		rb, err = m.target.RebootScope(d.Scope)
+	}
+	m.finishRecovery(name, d.Scope, rb, err)
 }
 
 // recoverBricks restarts every dead brick (they recover in parallel, so

@@ -153,6 +153,13 @@ type SSMCluster struct {
 	// slowBypasses counts reads served by a healthy replica while a slow
 	// one was routed around.
 	slowBypasses atomic.Int64
+	// slowServed counts reads actually served by a degraded brick (no
+	// healthy replica was available, or routing was disabled).
+	slowServed atomic.Int64
+	// slowRoutingOff disables the slow-replica read routing, so reads hit
+	// replicas in natural order even when one is degraded — the
+	// fail-stutter baseline the brick-slow experiment measures against.
+	slowRoutingOff atomic.Bool
 
 	mu        sync.Mutex
 	nextShard int
@@ -676,19 +683,23 @@ func (c *SSMCluster) Read(id string) (*Session, error) {
 // readShard serves id from one replica set, returning the decoded
 // session and the raw entry (for dual-read promotion).
 func (c *SSMCluster) readShard(shard []*Brick, id string, now time.Duration) (*Session, ssmEntry, error) {
-	order := make([]*Brick, 0, len(shard))
+	routing := !c.slowRoutingOff.Load()
+	order := shard
 	slow := 0
-	for _, b := range shard {
-		if b.Slow() {
-			slow++
-			continue
-		}
-		order = append(order, b)
-	}
-	if slow > 0 { // degraded replicas are the readers of last resort
+	if routing {
+		order = make([]*Brick, 0, len(shard))
 		for _, b := range shard {
 			if b.Slow() {
-				order = append(order, b)
+				slow++
+				continue
+			}
+			order = append(order, b)
+		}
+		if slow > 0 { // degraded replicas are the readers of last resort
+			for _, b := range shard {
+				if b.Slow() {
+					order = append(order, b)
+				}
 			}
 		}
 	}
@@ -702,6 +713,9 @@ func (c *SSMCluster) readShard(shard []*Brick, id string, now time.Duration) (*S
 		case err == nil:
 			if slow > 0 && !b.Slow() {
 				c.slowBypasses.Add(1)
+			}
+			if b.Slow() {
+				c.slowServed.Add(1)
 			}
 			// Deferred renewal: refreshing the lease on every replica read
 			// made every read a cluster-wide write. Renew only once more
@@ -830,6 +844,87 @@ func (c *SSMCluster) Discarded() int {
 // was routed around.
 func (c *SSMCluster) SlowBypasses() int {
 	return int(c.slowBypasses.Load())
+}
+
+// SlowServedReads reports reads that were actually served by a degraded
+// brick — the reads that paid the fail-stutter penalty.
+func (c *SSMCluster) SlowServedReads() int {
+	return int(c.slowServed.Load())
+}
+
+// SetSlowReadRouting enables (the default) or disables the slow-replica
+// read routing. With routing off, reads hit a shard's replicas in natural
+// order even when one is degraded — the baseline configuration of the
+// fail-stutter experiment.
+func (c *SSMCluster) SetSlowReadRouting(on bool) {
+	c.slowRoutingOff.Store(!on)
+}
+
+// SlowReadRouting reports whether slow-replica read routing is enabled.
+func (c *SSMCluster) SlowReadRouting() bool {
+	return !c.slowRoutingOff.Load()
+}
+
+// ShardPopulations reports the distinct session population per live
+// shard (the union over each shard's live replicas, so a missed
+// replication does not undercount). The control plane's load probe
+// samples this; entries awaiting lease GC are counted, as in Len.
+func (c *SSMCluster) ShardPopulations() map[int]int {
+	st := c.state.Load()
+	out := make(map[int]int, len(st.shards))
+	for _, sid := range st.shardIDs() {
+		seen := map[string]bool{}
+		for _, b := range st.shards[sid] {
+			for _, id := range b.ids() {
+				seen[id] = true
+			}
+		}
+		out[sid] = len(seen)
+	}
+	return out
+}
+
+// SlowBrickPenalty is the modeled extra response time a session access
+// pays when its read is served by a degraded (fail-stutter) brick: the
+// brick answers, but late — the failure mode that motivates routing
+// reads away from slow replicas instead of waiting them out.
+const SlowBrickPenalty = 250 * time.Millisecond
+
+// ReadPenalty reports the fail-stutter latency a read of id would pay
+// under the current routing policy: zero when a healthy replica serves
+// it, SlowBrickPenalty when the replica the routing would pick is
+// degraded (with routing on, that only happens when every live replica
+// of the owner shard is slow; with routing off, whenever the first live
+// replica in natural order is). The cluster node's service-time model
+// charges this per session access.
+func (c *SSMCluster) ReadPenalty(id string) time.Duration {
+	shard, _ := c.owners(id)
+	if c.slowRoutingOff.Load() {
+		for _, b := range shard {
+			if !b.Up() {
+				continue
+			}
+			if b.Slow() {
+				return SlowBrickPenalty
+			}
+			return 0
+		}
+		return 0
+	}
+	sawLive := false
+	for _, b := range shard {
+		if !b.Up() {
+			continue
+		}
+		sawLive = true
+		if !b.Slow() {
+			return 0
+		}
+	}
+	if sawLive {
+		return SlowBrickPenalty
+	}
+	return 0
 }
 
 // CorruptBits flips a bit in the first live replica holding id — the

@@ -411,3 +411,98 @@ func TestFastSStripesConfigurable(t *testing.T) {
 		t.Fatalf("Len = %d", f.Len())
 	}
 }
+
+func TestSlowRoutingDisabledServesFromSlowBrick(t *testing.T) {
+	c := mustCluster(t, 1, 3, 2, nil, 0)
+	if err := c.Write(sampleSession("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBrickSlow("ssm/s0-r0", true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.SlowReadRouting() {
+		t.Fatal("routing should default on")
+	}
+	c.SetSlowReadRouting(false)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Read("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Natural order starts at the slow replica 0: every read stutters.
+	if c.SlowServedReads() != 4 {
+		t.Fatalf("SlowServedReads = %d, want 4", c.SlowServedReads())
+	}
+	if c.SlowBypasses() != 0 {
+		t.Fatalf("SlowBypasses = %d, want 0 with routing off", c.SlowBypasses())
+	}
+	c.SetSlowReadRouting(true)
+	if _, err := c.Read("s"); err != nil {
+		t.Fatal(err)
+	}
+	if c.SlowServedReads() != 4 || c.SlowBypasses() != 1 {
+		t.Fatalf("after re-enabling: served=%d bypasses=%d, want 4/1",
+			c.SlowServedReads(), c.SlowBypasses())
+	}
+}
+
+func TestReadPenaltyFollowsRoutingPolicy(t *testing.T) {
+	c := mustCluster(t, 1, 3, 2, nil, 0)
+	if err := c.Write(sampleSession("s")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ReadPenalty("s"); got != 0 {
+		t.Fatalf("healthy penalty = %v, want 0", got)
+	}
+	// One slow replica: routing masks it entirely.
+	_ = c.SetBrickSlow("ssm/s0-r0", true)
+	if got := c.ReadPenalty("s"); got != 0 {
+		t.Fatalf("routed penalty = %v, want 0", got)
+	}
+	// Routing off: the natural first replica is the slow one.
+	c.SetSlowReadRouting(false)
+	if got := c.ReadPenalty("s"); got != SlowBrickPenalty {
+		t.Fatalf("unrouted penalty = %v, want %v", got, SlowBrickPenalty)
+	}
+	// With the slow brick second in natural order, no penalty either way.
+	_ = c.SetBrickSlow("ssm/s0-r0", false)
+	_ = c.SetBrickSlow("ssm/s0-r1", true)
+	if got := c.ReadPenalty("s"); got != 0 {
+		t.Fatalf("unrouted penalty behind healthy head = %v, want 0", got)
+	}
+	// Every live replica slow: even routing has to wait.
+	c.SetSlowReadRouting(true)
+	_ = c.SetBrickSlow("ssm/s0-r0", true)
+	_ = c.SetBrickSlow("ssm/s0-r2", true)
+	if got := c.ReadPenalty("s"); got != SlowBrickPenalty {
+		t.Fatalf("all-slow penalty = %v, want %v", got, SlowBrickPenalty)
+	}
+}
+
+func TestShardPopulationsSumToDistinctSessions(t *testing.T) {
+	c := mustCluster(t, 4, 3, 2, nil, 0)
+	for i := 0; i < 60; i++ {
+		if err := c.Write(sampleSession(fmt.Sprintf("sess-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pops := c.ShardPopulations()
+	if len(pops) != 4 {
+		t.Fatalf("shards = %d, want 4", len(pops))
+	}
+	total := 0
+	for sid, n := range pops {
+		if n == 0 {
+			t.Errorf("shard %d empty — ring not spreading", sid)
+		}
+		total += n
+	}
+	if total != c.Len() {
+		t.Fatalf("population sum = %d, want Len = %d", total, c.Len())
+	}
+	// A crashed replica must not undercount the shard: survivors hold it.
+	_ = c.CrashBrick("ssm/s0-r0")
+	if got := c.ShardPopulations(); got[0] != pops[0] {
+		t.Fatalf("shard 0 after crash = %d, want %d", got[0], pops[0])
+	}
+}

@@ -87,6 +87,14 @@ type Store interface {
 	Name() string
 }
 
+// ReadPenalized is implemented by stores whose reads can carry a modeled
+// extra latency (the SSM brick cluster's fail-stutter replicas). Service
+// -time models ask it how much a session access of id costs beyond the
+// flat store-access charge.
+type ReadPenalized interface {
+	ReadPenalty(id string) time.Duration
+}
+
 // DefaultStripes is the stripe count used by NewFastS. Sixteen stripes
 // keep lock contention negligible for the worker counts the node model
 // uses while costing only a few hundred bytes of overhead.

@@ -51,6 +51,11 @@ func (c *client) step() {
 	if c.e.stopped || c.inFlight {
 		return
 	}
+	if c.e.draining && c.phase == phaseStart {
+		// Session boundary during a drain: this user has left the site.
+		c.closeAction(false)
+		return
+	}
 	op, args := c.nextOp()
 	c.issue(op, args)
 }
@@ -62,6 +67,10 @@ func (c *client) nextOp() (string, map[string]any) {
 	switch c.phase {
 	case phaseStart:
 		c.phase = phaseLogin
+		// A fresh visit gets a fresh session id. Rotating here — not when
+		// the previous session ended — lets the Logout op still carry the
+		// id it is logging out, so the server really deletes it.
+		c.sessionSeq++
 		c.quick = rng.Float64() < c.e.cfg.QuickVisitP
 		c.quickN = 0
 		return ebid.OpHome, nil
@@ -94,7 +103,6 @@ func (c *client) nextOp() (string, map[string]any) {
 			return ebid.AboutMe, nil
 		}
 		c.phase = phaseStart
-		c.sessionEnds()
 		return ebid.OpLogout, nil
 	}
 
@@ -102,7 +110,6 @@ func (c *client) nextOp() (string, map[string]any) {
 	switch {
 	case x < 0.13: // session end
 		c.phase = phaseStart
-		c.sessionEnds()
 		return ebid.OpLogout, nil
 	case x < 0.13+0.46: // read-only DB access
 		y := rng.Float64()
@@ -151,9 +158,6 @@ func (c *client) randItem() int64     { return 1 + c.e.kernel.Rand().Int63n(c.e.
 func (c *client) randCategory() int64 { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Categories) }
 func (c *client) randRegion() int64   { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Regions) }
 
-// sessionEnds rotates the session id for the next login.
-func (c *client) sessionEnds() { c.sessionSeq++ }
-
 // issue submits the op to the frontend.
 func (c *client) issue(op string, args map[string]any) {
 	c.inFlight = true
@@ -194,12 +198,12 @@ func (c *client) complete(op string, issued time.Duration, resp Response) {
 			c.e.onFailure(c.id, op, resp)
 		}
 		// A failed action aborts any in-progress flow and, on session
-		// loss, sends the user back to the login page.
+		// loss, sends the user back to the login page (where a fresh
+		// session id is assigned).
 		c.closeAction(true)
 		c.pending = ""
 		if isSessionLoss(resp.Err) || c.phase == phaseFlow {
 			c.phase = phaseStart
-			c.sessionEnds()
 		}
 		if c.phase == phaseFlow {
 			c.phase = phaseBrowsing

@@ -78,6 +78,10 @@ type Config struct {
 	// StartStagger spreads client start times uniformly over this window
 	// (default: ThinkMean) so load ramps smoothly.
 	StartStagger time.Duration
+	// ClientIDOffset shifts this emulator's client ids so several
+	// emulators can share one frontend (session ids derive from client
+	// ids and must stay distinct).
+	ClientIDOffset int
 }
 
 func (c *Config) fill() {
@@ -126,8 +130,9 @@ type Emulator struct {
 
 	onFailure FailureListener
 	// stats
-	issued  int64
-	stopped bool
+	issued   int64
+	stopped  bool
+	draining bool
 }
 
 // NewEmulator builds an emulator. recorder may be nil (no Taw accounting).
@@ -135,7 +140,7 @@ func NewEmulator(k *sim.Kernel, fe Frontend, rec *metrics.Recorder, cfg Config) 
 	cfg.fill()
 	e := &Emulator{kernel: k, frontend: fe, recorder: rec, cfg: cfg}
 	for i := 0; i < cfg.Clients; i++ {
-		e.clients = append(e.clients, newClient(e, i))
+		e.clients = append(e.clients, newClient(e, cfg.ClientIDOffset+i))
 	}
 	return e
 }
@@ -153,6 +158,12 @@ func (e *Emulator) Start() {
 
 // Stop stops issuing new requests (in-flight ones still complete).
 func (e *Emulator) Stop() { e.stopped = true }
+
+// Drain retires the population gracefully: each client finishes its
+// current session (through its logout, which deletes the stored session)
+// and then goes home instead of starting another. Unlike Stop, a drained
+// population leaves no abandoned sessions behind for the lease reaper.
+func (e *Emulator) Drain() { e.draining = true }
 
 // Issued reports the number of requests issued so far.
 func (e *Emulator) Issued() int64 { return e.issued }

@@ -185,11 +185,31 @@ func TestStopHaltsIssuing(t *testing.T) {
 	}
 }
 
-func TestSessionIDsRotate(t *testing.T) {
-	c := &client{e: &Emulator{}, id: 3}
-	a := c.sessionID()
-	c.sessionEnds()
-	if b := c.sessionID(); a == b {
-		t.Fatalf("session id did not rotate: %s", a)
+func TestSessionIDsRotateAtNextVisit(t *testing.T) {
+	// Regression: the session id used to rotate when Logout was chosen,
+	// so the Logout op carried the NEXT visit's id and the server never
+	// deleted the real session (it leaked until lease expiry).
+	k := sim.NewKernel(5)
+	e := NewEmulator(k, nil, nil, Config{Clients: 0})
+	c := newClient(e, 3)
+	if op, _ := c.nextOp(); op != ebid.OpHome {
+		t.Fatalf("first op = %s, want Home", op)
+	}
+	visit := c.sessionID()
+	// Fast-forward to the end of a quick visit: the next op is Logout.
+	c.phase = phaseBrowsing
+	c.quick = true
+	c.quickN = 1
+	if op, _ := c.nextOp(); op != ebid.OpLogout {
+		t.Fatalf("op = %s, want Logout", op)
+	}
+	if got := c.sessionID(); got != visit {
+		t.Fatalf("logout would delete %s, want the session it belongs to (%s)", got, visit)
+	}
+	if op, _ := c.nextOp(); op != ebid.OpHome {
+		t.Fatal("next visit did not start at Home")
+	}
+	if got := c.sessionID(); got == visit {
+		t.Fatalf("session id did not rotate for the new visit: %s", got)
 	}
 }
