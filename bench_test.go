@@ -19,8 +19,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/ebid"
 	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/store/db"
 	"repro/internal/store/session"
+	"repro/internal/workload"
 )
 
 var benchOpts = experiments.Options{Quick: true, Seed: 42}
@@ -385,5 +390,91 @@ func BenchmarkStoreParallelWrite(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// ---------------------------------------------------------- LB routing
+
+// benchLB builds an 8-node cluster behind a balancer for routing
+// micro-benches (the routing decision only — nothing is submitted).
+func benchLB(b *testing.B, policy cluster.RoutingPolicy) *cluster.LoadBalancer {
+	b.Helper()
+	k := sim.NewKernel(1)
+	d := db.New(nil)
+	ds := ebid.DatasetConfig{Users: 50, Items: 100, BidsPerItem: 2, Categories: 5, Regions: 5, OldItems: 10}
+	if err := ebid.LoadDataset(d, ds); err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]*cluster.Node, 0, 8)
+	for i := 0; i < 8; i++ {
+		n, err := cluster.NewNode(k, d, session.NewFastS(), cluster.NodeConfig{
+			Name: fmt.Sprintf("bench-n%d", i), Dataset: ds,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	lb := cluster.NewLoadBalancer(nodes)
+	if policy != nil {
+		lb.SetPolicy(policy)
+	}
+	return lb
+}
+
+// BenchmarkLBRouteNew measures the per-request routing decision for a
+// session-free request (no affinity hit) under each policy over 8
+// nodes. benchdiff tracks the policies' relative cost.
+func BenchmarkLBRouteNew(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy cluster.RoutingPolicy
+	}{
+		{"RoundRobin", nil},
+		{"LeastLoaded", cluster.LeastLoadedPolicy{}},
+		{"ShedLeastLoaded", &cluster.SheddingPolicy{Inner: cluster.LeastLoadedPolicy{}}},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			lb := benchLB(b, p.policy)
+			req := &workload.Request{Op: ebid.ViewItem, SessionID: "bench-anon"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lb.Route(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLBRouteAffinity measures the sticky-session fast path.
+func BenchmarkLBRouteAffinity(b *testing.B) {
+	lb := benchLB(b, nil)
+	for i := 0; i < 64; i++ {
+		if _, err := lb.Route(&workload.Request{Op: ebid.OpHome, SessionID: fmt.Sprintf("bench-s%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := &workload.Request{Op: ebid.AboutMe, SessionID: "bench-s7"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lb.Route(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigureFleet_Routing regenerates the fleet routing comparison
+// (round-robin collapse vs shedding + least-loaded) and reports the p99
+// gap as the domain metric.
+func BenchmarkFigureFleet_Routing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FigureFleet(benchOpts)
+		b.ReportMetric(float64(r.RoundRobin.P99.Milliseconds()), "rr-p99-ms")
+		b.ReportMetric(float64(r.Routed.P99.Milliseconds()), "routed-p99-ms")
+		b.ReportMetric(float64(r.Routed.Shed), "shed")
 	}
 }

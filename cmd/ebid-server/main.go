@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file] [-reap-interval D] [-autoscale] [-autoscale-min N] [-autoscale-max N] [-autoscale-high X] [-autoscale-low X]
+//	ebid-server [-addr :8080] [-store fasts|ssm|ssm-cluster] [-shards S] [-replicas N] [-write-quorum W] [-users N] [-items N] [-wal file] [-reap-interval D] [-autoscale] [-autoscale-min N] [-autoscale-max N] [-autoscale-high X] [-autoscale-low X] [-shed-watermark N] [-detect-sample N]
 //
 // Try it:
 //
@@ -18,13 +18,18 @@
 //	curl -X POST 'localhost:8080/admin/ssm/removeshard?shard=0'
 //	curl localhost:8080/admin/ssm/elastic
 //
-// A control plane ticks every -migrate-interval: its probes sample
-// per-shard load, a load-adaptive migration pacer streams entries to
-// their new owner shards after every ring change (backing off when
-// client p95 latency rises), and with -autoscale the ring resizes
-// itself against the load watermarks. Inspect it at
-// /admin/controlplane/status. A lease reaper garbage-collects lapsed
-// sessions on the SSM stores every -reap-interval.
+// A control plane ticks every -migrate-interval: its probes sample the
+// front's in-flight load and (with a brick cluster) per-shard load, a
+// load-adaptive migration pacer streams entries to their new owner
+// shards after every ring change (backing off when client p95 latency
+// rises), and with -autoscale the ring resizes itself against the load
+// watermarks. Inspect it at /admin/controlplane/status and
+// /admin/fleet/status. With -shed-watermark N the front sheds
+// session-starting requests (503 + Retry-After) past N in-flight
+// requests; with -detect-sample N one in N idempotent operations is
+// replayed against a known-good shadow instance and any discrepancy is
+// published on the bus. A lease reaper garbage-collects lapsed sessions
+// on the SSM stores every -reap-interval.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/detect"
 	"repro/internal/ebid"
 	"repro/internal/httpfront"
 	"repro/internal/store/db"
@@ -62,6 +68,10 @@ func main() {
 	autoscaleLow := flag.Float64("autoscale-low", 500, "autoscaler: remove a shard below this mean sessions/shard")
 	targetP95 := flag.Duration("migrate-target-p95", 500*time.Millisecond,
 		"ssm-cluster: client p95 above which the migration pacer backs off")
+	shedWatermark := flag.Int("shed-watermark", 0,
+		"admission control: shed session-starting requests with 503 + Retry-After while more than this many requests are in flight (0 disables)")
+	detectSample := flag.Int64("detect-sample", 0,
+		"comparison detector: replay 1 in N idempotent operations against a known-good shadow instance and publish discrepancies (0 disables)")
 	flag.Parse()
 
 	var wal *db.WAL
@@ -128,9 +138,18 @@ func main() {
 		}()
 		log.Printf("lease reaper running every %v", *reapInterval)
 	}
+	front := httpfront.New(app)
+	front.Cluster = cl
+	front.ShedWatermark = *shedWatermark
+	if *shedWatermark > 0 {
+		log.Printf("admission control: shedding new sessions past %d in-flight requests", *shedWatermark)
+	}
+
 	// The control plane: every request's latency and failure feed its
-	// bus through the HTTP front end; with an SSM brick cluster its
-	// probes sample per-shard load, the migration pacer replaces the old
+	// bus through the HTTP front end, and the front's own in-flight
+	// count is probed as a one-node fleet (visible at
+	// /admin/fleet/status). With an SSM brick cluster the probes also
+	// sample per-shard load, the migration pacer replaces the old
 	// fixed-budget migrator (backing off when client p95 rises, full
 	// throttle when idle), and -autoscale closes the elasticity loop.
 	// Without a ticking plane a ring change could never drain (and would
@@ -140,7 +159,28 @@ func main() {
 		log.Printf("control plane disabled (-migrate-interval %v): elastic ring controls are off", *migrateInterval)
 		cl = nil
 	}
-	plane := controlplane.New(controlplane.Config{Clock: clock, Cluster: clusterOrNil(cl)})
+	plane := controlplane.New(controlplane.Config{Clock: clock, Cluster: clusterOrNil(cl), Fleet: front})
+	// An observe-only fleet controller (no balancer to actuate on a
+	// single node) keeps the per-node samples for the status surface.
+	plane.Use(controlplane.NewFleetController(nil, controlplane.FleetConfig{}))
+	if *detectSample > 0 {
+		// The known-good shadow instance shares the database (so data
+		// evolution matches) but nothing else; only idempotent,
+		// session-free operations are replayed.
+		shadow, err := ebid.New(database, session.NewFastS(), clock)
+		if err != nil {
+			log.Fatalf("shadow instance: %v", err)
+		}
+		front.Sampler = &detect.Sampler{
+			Comp:  &detect.Comparison{Good: shadow},
+			Every: *detectSample,
+			OnDiscrepancy: func(op string, v detect.Verdict) {
+				plane.ReportDiscrepancy(op, v.Detail)
+				log.Printf("comparison detector: %s: %s (%s)", op, v.Type, v.Detail)
+			},
+		}
+		log.Printf("comparison detector sampling 1 in %d idempotent operations", *detectSample)
+	}
 	if cl != nil {
 		pacer := controlplane.NewMigrationPacer(cl, controlplane.PacerConfig{TargetP95: *targetP95})
 		plane.Use(pacer)
@@ -164,10 +204,15 @@ func main() {
 			log.Printf("autoscaler watching the ring: %d..%d shards, add above %.0f, remove below %.0f sessions/shard",
 				*autoscaleMin, *autoscaleMax, *autoscaleHigh, *autoscaleLow)
 		}
+	}
+	if *migrateInterval > 0 {
 		go func() {
 			migrating := false
 			for range time.Tick(*migrateInterval) {
 				plane.Tick()
+				if cl == nil {
+					continue
+				}
 				if m := cl.Migrating(); m != migrating {
 					migrating = m
 					st := cl.Elastic()
@@ -182,8 +227,6 @@ func main() {
 		}()
 	}
 
-	front := httpfront.New(app)
-	front.Cluster = cl
 	front.Plane = plane
 	log.Printf("serving on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, front.Handler()))

@@ -115,6 +115,10 @@ func main() {
 		section("Brick slow (extension): fail-stutter latency with/without slow-replica routing")
 		fmt.Println(experiments.FigureBrickSlow(o))
 	}
+	if run("fleet") {
+		section("Fleet routing (extension): shedding + least-loaded vs static round-robin")
+		fmt.Println(experiments.FigureFleet(o))
+	}
 	if run("section61") {
 		section("Section 6.1")
 		if fig1 == nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/ebid"
 	"repro/internal/faults"
@@ -44,6 +45,8 @@ func run(useRestart bool) (failed int64, sessions int) {
 		injectors = append(injectors, faults.NewInjector(n.Server(), database, store))
 	}
 	lb := cluster.NewLoadBalancer(nodes)
+	plane := controlplane.New(controlplane.Config{Clock: kernel.Now, Fleet: lb})
+	plane.Use(controlplane.NewFleetController(lb, controlplane.FleetConfig{}))
 	recorder := metrics.NewRecorder(time.Second, 8*time.Second)
 	emulator := workload.NewEmulator(kernel, lb, recorder, workload.Config{
 		Clients: 4 * 500,
@@ -62,7 +65,10 @@ func run(useRestart bool) (failed int64, sessions int) {
 	}
 	kernel.RunFor(2 * time.Second) // detection latency
 	lb.ResetFailoverStats()
-	lb.SetRedirect(bad, true)
+	// Recovery announces itself on the control-plane bus; the fleet
+	// controller drains the node's traffic away (and restores it when
+	// the recovered signal lands) — nothing pokes the balancer directly.
+	plane.ReportNodeRecovery(bad.Name, true)
 	var rb *core.Reboot
 	var err error
 	if useRestart {
@@ -73,7 +79,7 @@ func run(useRestart bool) (failed int64, sessions int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	kernel.Schedule(rb.Duration(), func() { lb.SetRedirect(bad, false) })
+	kernel.Schedule(rb.Duration(), func() { plane.ReportNodeRecovery(bad.Name, false) })
 
 	kernel.RunFor(7 * time.Minute)
 	emulator.Stop()

@@ -289,8 +289,11 @@ func TestLoadBalancerAffinityAndFailover(t *testing.T) {
 	}
 
 	// Drain node 0: its sessions get redirected and fail (FastS is
-	// node-local), while node 1's sessions keep working.
-	lb.SetRedirect(nodes[0], true)
+	// node-local), while node 1's sessions keep working. The failed
+	// sessions' affinity entries are pruned as their loss is observed, so
+	// count node 0's sessions before draining.
+	n0Sessions := lb.SessionsOn(nodes[0])
+	lb.SetDrain(nodes[0].Name, true)
 	var failed, succeeded int
 	for i := 0; i < 10; i++ {
 		sid := fmt.Sprintf("s%d", i)
@@ -304,7 +307,6 @@ func TestLoadBalancerAffinityAndFailover(t *testing.T) {
 			}})
 	}
 	k.RunFor(time.Second)
-	n0Sessions := lb.SessionsOn(nodes[0])
 	if failed != n0Sessions {
 		t.Fatalf("failed = %d, want %d (node 0's redirected sessions)", failed, n0Sessions)
 	}
@@ -314,7 +316,7 @@ func TestLoadBalancerAffinityAndFailover(t *testing.T) {
 	if lb.SessionsFailedOver() != n0Sessions {
 		t.Fatalf("SessionsFailedOver = %d, want %d", lb.SessionsFailedOver(), n0Sessions)
 	}
-	lb.SetRedirect(nodes[0], false)
+	lb.SetDrain(nodes[0].Name, false)
 	lb.ResetFailoverStats()
 	if lb.FailedOverRequests() != 0 {
 		t.Fatal("stats not reset")
@@ -347,7 +349,7 @@ func TestSharedSSMSurvivesFailover(t *testing.T) {
 		}})
 	k.RunFor(time.Second)
 	home := lb.affinity["s0"]
-	lb.SetRedirect(home, true)
+	lb.SetDrain(home.Name, true)
 	lb.Submit(&workload.Request{Op: ebid.AboutMe, SessionID: "s0",
 		Complete: func(r workload.Response) {
 			if r.OK() {

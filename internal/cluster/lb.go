@@ -1,39 +1,220 @@
 package cluster
 
 import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
 	"repro/internal/ebid"
 	"repro/internal/workload"
 )
 
-// LoadBalancer is the client-side load balancer of Section 5.3: it
-// distributes new login requests evenly between nodes and implements
-// session affinity for established sessions. When the recovery manager
-// notifies it that a node is recovering, it redirects that node's
-// requests uniformly to the good nodes (failover); once recovery
-// completes, distribution returns to normal.
+// RoutingPolicy decides which node serves a request the affinity map
+// does not already pin. Policies are invoked under the balancer's lock,
+// so they need no locking of their own; candidate slices are the
+// healthy nodes, or every node when none is healthy (the fallback path:
+// the request must reach some node to fail honestly).
+type RoutingPolicy interface {
+	Name() string
+	// RouteNew picks the node for a request with no session affinity. A
+	// non-nil error rejects the request instead (admission control); no
+	// node is charged.
+	RouteNew(req *workload.Request, cands []*Node) (*Node, error)
+	// RouteSpill picks the failover target for an established session
+	// redirected away from its draining or down affinity node.
+	// Established sessions are never shed, so spill cannot fail.
+	RouteSpill(req *workload.Request, cands []*Node) *Node
+}
+
+// RoundRobinPolicy is the paper's static discipline: even distribution
+// of new sessions, uniform redirection of failover traffic. It is
+// load-blind — the baseline the queue-aware policies are measured
+// against.
+type RoundRobinPolicy struct {
+	rrNew   int
+	rrSpill int
+}
+
+// NewRoundRobin builds the static baseline policy.
+func NewRoundRobin() *RoundRobinPolicy { return &RoundRobinPolicy{} }
+
+// Name implements RoutingPolicy.
+func (p *RoundRobinPolicy) Name() string { return "round-robin" }
+
+// RouteNew implements RoutingPolicy.
+func (p *RoundRobinPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
+	n := cands[p.rrNew%len(cands)]
+	p.rrNew++
+	return n, nil
+}
+
+// RouteSpill implements RoutingPolicy.
+func (p *RoundRobinPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
+	n := cands[p.rrSpill%len(cands)]
+	p.rrSpill++
+	return n
+}
+
+// LeastLoadedPolicy routes to the candidate with the fewest requests in
+// the building (queued + busy workers): routing driven by live
+// backpressure instead of static position, so a degraded node receives
+// only what it can actually drain. Ties fall to the earliest candidate
+// for determinism.
+type LeastLoadedPolicy struct{}
+
+// Name implements RoutingPolicy.
+func (LeastLoadedPolicy) Name() string { return "least-loaded" }
+
+func leastLoaded(cands []*Node) *Node {
+	best := cands[0]
+	bestLoad := best.QueueDepth() + best.Busy()
+	for _, n := range cands[1:] {
+		if load := n.QueueDepth() + n.Busy(); load < bestLoad {
+			best, bestLoad = n, load
+		}
+	}
+	return best
+}
+
+// RouteNew implements RoutingPolicy.
+func (LeastLoadedPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
+	return leastLoaded(cands), nil
+}
+
+// RouteSpill implements RoutingPolicy.
+func (LeastLoadedPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
+	return leastLoaded(cands)
+}
+
+// DefaultShedWatermark is the per-node queue depth past which the
+// shedding policy starts refusing new logins.
+const DefaultShedWatermark = 8
+
+// SheddingPolicy is admission control at the balancer: when every
+// candidate's queue sits past QueueWatermark, session-establishing
+// requests are rejected with a Retry-After hint instead of joining
+// queues that can only collapse — the admission control the paper notes
+// commercial application servers lack when overloaded (the Figure 4
+// regime). Established sessions and non-login traffic are never shed;
+// they route through Inner.
+type SheddingPolicy struct {
+	// Inner picks the node for everything that is admitted.
+	Inner RoutingPolicy
+	// QueueWatermark is the per-node queue depth that counts as "past
+	// capacity" (DefaultShedWatermark when zero).
+	QueueWatermark int
+	// RetryAfter is the interval advertised to shed clients (default:
+	// the paper's 2 s).
+	RetryAfter time.Duration
+}
+
+// Name implements RoutingPolicy.
+func (p *SheddingPolicy) Name() string { return "shed+" + p.Inner.Name() }
+
+func (p *SheddingPolicy) watermark() int {
+	if p.QueueWatermark <= 0 {
+		return DefaultShedWatermark
+	}
+	return p.QueueWatermark
+}
+
+func (p *SheddingPolicy) retryAfter() time.Duration {
+	if p.RetryAfter <= 0 {
+		return 2 * time.Second
+	}
+	return p.RetryAfter
+}
+
+// isLoginOp reports whether op establishes a session (the affinity-
+// assigning set).
+func isLoginOp(op string) bool {
+	return op == ebid.Authenticate || op == ebid.RegisterNewUser || op == ebid.OpHome
+}
+
+// RouteNew implements RoutingPolicy.
+func (p *SheddingPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
+	if isLoginOp(req.Op) {
+		past := 0
+		for _, n := range cands {
+			if n.QueueDepth() > p.watermark() {
+				past++
+			}
+		}
+		if past == len(cands) {
+			return nil, &ShedError{After: p.retryAfter()}
+		}
+	}
+	return p.Inner.RouteNew(req, cands)
+}
+
+// RouteSpill implements RoutingPolicy.
+func (p *SheddingPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
+	return p.Inner.RouteSpill(req, cands)
+}
+
+// ShedError is the 503 + Retry-After admission control answers a new
+// login with while every node is past the queue watermark.
+type ShedError struct{ After time.Duration }
+
+// Error implements error. The text carries the 503 marker so the
+// client-side detector classifies it as an HTTP error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%v: overloaded, retry after %v", ErrServiceUnavailable, e.After)
+}
+
+// Unwrap lets errors.Is(err, ErrServiceUnavailable) match.
+func (e *ShedError) Unwrap() error { return ErrServiceUnavailable }
+
+// LoadBalancer is the client-side load balancer of Section 5.3, grown
+// into a fleet-controlled router: new sessions are placed by a pluggable
+// RoutingPolicy (static round-robin, queue-aware least-loaded, or
+// shedding admission control), established sessions stick to their node,
+// and a node marked draining — by the control plane's FleetController,
+// on recovery signals or for a rolling reboot — has its traffic
+// redirected to the good nodes until it is restored.
+//
+// The balancer's own state (affinity, drain flags, policy cursors,
+// counters) is lock-protected, so the fleet controller can flip drain
+// state and the plane's fleet probe can sample while routing decisions
+// are in flight. The nodes themselves belong to the single-threaded
+// simulation kernel: routing reads their queue/busy gauges, but request
+// dispatch must stay on the kernel's thread.
 type LoadBalancer struct {
+	mu       sync.Mutex
 	nodes    []*Node
+	byName   map[string]*Node
 	affinity map[string]*Node
-	// redirecting marks nodes the recovery manager asked us to drain.
-	redirecting map[*Node]bool
+	// draining marks nodes the fleet controller asked us to drain.
+	draining map[*Node]bool
+	policy   RoutingPolicy
+
 	// Failover enables redirection; with it off, requests keep flowing
 	// to the recovering node (the paper's pre-failover µRB scheme).
 	Failover bool
 
-	rrNew   int // round-robin cursor for new sessions
-	rrSpill int // round-robin cursor for redirected traffic
-
 	// stats
 	failedOver    int64
 	sessionsMoved map[string]bool
+	shed          int64
+	pruned        int64
 }
 
-// NewLoadBalancer builds a balancer over the given nodes.
+// NewLoadBalancer builds a balancer over the given nodes with the
+// round-robin policy.
 func NewLoadBalancer(nodes []*Node) *LoadBalancer {
+	byName := make(map[string]*Node, len(nodes))
+	for _, n := range nodes {
+		byName[n.Name] = n
+	}
 	return &LoadBalancer{
 		nodes:         nodes,
+		byName:        byName,
 		affinity:      map[string]*Node{},
-		redirecting:   map[*Node]bool{},
+		draining:      map[*Node]bool{},
+		policy:        NewRoundRobin(),
 		Failover:      true,
 		sessionsMoved: map[string]bool{},
 	}
@@ -42,29 +223,124 @@ func NewLoadBalancer(nodes []*Node) *LoadBalancer {
 // Nodes returns the balanced node set.
 func (lb *LoadBalancer) Nodes() []*Node { return lb.nodes }
 
-// SetRedirect marks a node as recovering (true) or recovered (false); the
-// recovery manager calls this around recovery actions.
-func (lb *LoadBalancer) SetRedirect(n *Node, redirect bool) {
-	if redirect {
-		lb.redirecting[n] = true
-	} else {
-		delete(lb.redirecting, n)
+// SetPolicy installs a routing policy (round-robin when never called).
+func (lb *LoadBalancer) SetPolicy(p RoutingPolicy) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.policy = p
+}
+
+// PolicyName reports the installed policy.
+func (lb *LoadBalancer) PolicyName() string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.policy.Name()
+}
+
+// SetDrain moves the named node into (true) or out of (false) the
+// drained state. The control plane's FleetController is the caller —
+// drain is a fleet-level decision, not something recovery code flips
+// directly. Unknown nodes report false.
+func (lb *LoadBalancer) SetDrain(node string, drain bool) bool {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	n, ok := lb.byName[node]
+	if !ok {
+		return false
 	}
+	if drain {
+		lb.draining[n] = true
+	} else {
+		delete(lb.draining, n)
+	}
+	return true
+}
+
+// RebootNode performs a node-scope (process) reboot of the named node,
+// returning the modeled recovery duration — the fleet controller's
+// rolling-rejuvenation actuator.
+func (lb *LoadBalancer) RebootNode(node string) (time.Duration, error) {
+	lb.mu.Lock()
+	n, ok := lb.byName[node]
+	lb.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown node %q", node)
+	}
+	rb, err := n.RebootScope(core.ScopeProcess)
+	if err != nil {
+		return 0, err
+	}
+	return rb.Duration(), nil
+}
+
+// FleetStats implements controlplane.FleetProbe: one load/health sample
+// per node for the plane's per-tick fleet probe.
+func (lb *LoadBalancer) FleetStats() []controlplane.NodeStat {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make([]controlplane.NodeStat, 0, len(lb.nodes))
+	for _, n := range lb.nodes {
+		completed, failed, _, _ := n.Stats()
+		out = append(out, controlplane.NodeStat{
+			Node:       n.Name,
+			Queue:      n.QueueDepth(),
+			Busy:       n.Busy(),
+			Workers:    n.Workers(),
+			Down:       n.Down(),
+			Recovering: n.Recovering(),
+			Draining:   lb.draining[n],
+			Completed:  completed,
+			Failed:     failed,
+		})
+	}
+	return out
 }
 
 // FailedOverRequests reports how many requests were redirected away from
 // their affinity node.
-func (lb *LoadBalancer) FailedOverRequests() int64 { return lb.failedOver }
+func (lb *LoadBalancer) FailedOverRequests() int64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.failedOver
+}
 
 // SessionsFailedOver reports how many distinct sessions had at least one
 // request redirected.
-func (lb *LoadBalancer) SessionsFailedOver() int { return len(lb.sessionsMoved) }
+func (lb *LoadBalancer) SessionsFailedOver() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return len(lb.sessionsMoved)
+}
 
-// healthy returns nodes that are neither down nor being drained.
+// Shed reports how many requests admission control rejected.
+func (lb *LoadBalancer) Shed() int64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.shed
+}
+
+// AffinitySize reports the live affinity-map population (the leak the
+// pruning exists to prevent).
+func (lb *LoadBalancer) AffinitySize() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return len(lb.affinity)
+}
+
+// AffinityPruned reports how many affinity entries were retired on
+// logout or session lapse.
+func (lb *LoadBalancer) AffinityPruned() int64 {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.pruned
+}
+
+// healthy returns nodes that are neither down nor draining. Callers
+// hold lb.mu.
 func (lb *LoadBalancer) healthy() []*Node {
 	var out []*Node
 	for _, n := range lb.nodes {
-		if !n.Down() && !lb.redirecting[n] {
+		if !n.Down() && !lb.draining[n] {
 			out = append(out, n)
 		}
 	}
@@ -73,42 +349,88 @@ func (lb *LoadBalancer) healthy() []*Node {
 
 // Submit implements workload.Frontend.
 func (lb *LoadBalancer) Submit(req *workload.Request) {
-	target := lb.route(req)
+	target, err := lb.Route(req)
+	if err != nil {
+		// Admission control turned the request away at the door: no node
+		// is charged, and the client gets the Retry-After answer.
+		req.Complete(workload.Response{Err: err})
+		return
+	}
+	lb.armPrune(req)
 	target.Submit(req)
 }
 
-func (lb *LoadBalancer) route(req *workload.Request) *Node {
+// Route picks the node that will serve req and performs the balancer's
+// bookkeeping (affinity assignment, failover accounting) without
+// submitting it. A non-nil error means admission control rejected the
+// request.
+func (lb *LoadBalancer) Route(req *workload.Request) (*Node, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
 	// Established sessions stick to their node.
 	if n, ok := lb.affinity[req.SessionID]; ok {
-		if lb.Failover && (lb.redirecting[n] || n.Down()) {
-			// Redirect uniformly to the good nodes.
-			good := lb.healthy()
-			if len(good) > 0 {
+		if lb.Failover && (lb.draining[n] || n.Down()) {
+			// Redirect to the good nodes; the policy picks which.
+			if good := lb.healthy(); len(good) > 0 {
 				lb.failedOver++
 				lb.sessionsMoved[req.SessionID] = true
-				spill := good[lb.rrSpill%len(good)]
-				lb.rrSpill++
-				return spill
+				return lb.policy.RouteSpill(req, good), nil
 			}
 		}
-		return n
+		return n, nil
 	}
-	// New sessions (the request establishing them) round-robin across
-	// healthy nodes; if none are healthy, any node takes the failure.
-	candidates := lb.healthy()
-	if len(candidates) == 0 {
-		candidates = lb.nodes
+	// New sessions (the request establishing them) go wherever the
+	// policy says; if no node is healthy, any node takes the failure.
+	cands := lb.healthy()
+	if len(cands) == 0 {
+		cands = lb.nodes
 	}
-	n := candidates[lb.rrNew%len(candidates)]
-	lb.rrNew++
-	if req.Op == ebid.Authenticate || req.Op == ebid.RegisterNewUser || req.Op == ebid.OpHome {
+	n, err := lb.policy.RouteNew(req, cands)
+	if err != nil {
+		lb.shed++
+		return nil, err
+	}
+	if isLoginOp(req.Op) {
 		lb.affinity[req.SessionID] = n
 	}
-	return n
+	return n, nil
+}
+
+// armPrune hooks the request's completion so affinity entries die with
+// their sessions. Without this the map grows by one entry per session
+// for the life of the process.
+func (lb *LoadBalancer) armPrune(req *workload.Request) {
+	op, sid, inner := req.Op, req.SessionID, req.Complete
+	req.Complete = func(resp workload.Response) {
+		lb.noteCompletion(op, sid, resp)
+		if inner != nil {
+			inner(resp)
+		}
+	}
+}
+
+// noteCompletion retires affinity entries that can never route again: a
+// completed Logout deleted the stored session, and a "not logged in"
+// failure means the session lapsed (its lease expired or its store
+// died). The next request with that id is, correctly, a new session.
+func (lb *LoadBalancer) noteCompletion(op, sid string, resp workload.Response) {
+	gone := (op == ebid.OpLogout && resp.Err == nil) ||
+		(resp.Err != nil && strings.Contains(resp.Err.Error(), "not logged in"))
+	if !gone {
+		return
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if _, ok := lb.affinity[sid]; ok {
+		delete(lb.affinity, sid)
+		lb.pruned++
+	}
 }
 
 // SessionsOn counts sessions whose affinity points at n.
 func (lb *LoadBalancer) SessionsOn(n *Node) int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
 	count := 0
 	for _, node := range lb.affinity {
 		if node == n {
@@ -121,6 +443,8 @@ func (lb *LoadBalancer) SessionsOn(n *Node) int {
 // ResetFailoverStats clears the failover counters (between experiment
 // phases).
 func (lb *LoadBalancer) ResetFailoverStats() {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
 	lb.failedOver = 0
 	lb.sessionsMoved = map[string]bool{}
 }

@@ -8,10 +8,12 @@
 // kills them or their execution lease (TTL) expires — reproducing the
 // resource-exhaustion dynamics of the paper's fault studies.
 //
-// The LoadBalancer implements the paper's failover discipline: even
-// distribution of new logins, session affinity for established sessions,
-// and uniform redirection away from a recovering node when the recovery
-// manager requests it.
+// The LoadBalancer implements the paper's failover discipline — session
+// affinity for established sessions, redirection away from a draining
+// node — behind a pluggable RoutingPolicy (static round-robin,
+// queue-aware least-loaded, shedding admission control). Drain state is
+// owned by the control plane's FleetController, which reacts to recovery
+// signals on the bus; nothing flips the balancer directly anymore.
 package cluster
 
 import (
@@ -461,3 +463,6 @@ func (n *Node) QueueDepth() int { return len(n.queue) }
 
 // Busy reports the number of occupied workers.
 func (n *Node) Busy() int { return n.busy }
+
+// Workers reports the size of the request-thread pool.
+func (n *Node) Workers() int { return n.cfg.Workers }

@@ -28,6 +28,15 @@ type AutoscalerConfig struct {
 	// the previous migration needs to drain and the population needs to
 	// re-settle before the next decision means anything.
 	Cooldown time.Duration
+	// WarmUp, when positive, is the resize cost model's holdoff: for this
+	// long after a successful AddShard the new shard is not counted as
+	// absorbing load (the watermark mean divides by the pre-add shard
+	// count). A freshly provisioned brick set spends real time warming
+	// caches and receiving migrated entries, so a grow decision must pay
+	// its warm-up before it can look like it helped — growing stops being
+	// free, and a shrink can never fire on the artificial dip the new
+	// denominator would otherwise produce.
+	WarmUp time.Duration
 	// OnResize, when set, observes every action (the live server logs
 	// through it).
 	OnResize func(ResizeAction)
@@ -68,6 +77,9 @@ type Autoscaler struct {
 	aboveHigh, belowLow int
 	lastResize          time.Duration
 	resized             bool
+	// warmUntil is the end of the current warm-up holdoff (zero: none).
+	warmUntil time.Duration
+	warming   bool
 
 	// lastAvg/lastShards are the most recent sample, for status.
 	lastAvg    float64
@@ -99,7 +111,16 @@ func (a *Autoscaler) OnSignal(s Signal) {
 	if s.Kind != SignalShardLoad || len(s.Shards) == 0 {
 		return
 	}
-	avg := float64(s.Sessions) / float64(len(s.Shards))
+	if a.warming && s.At >= a.warmUntil {
+		a.warming = false
+	}
+	// During a warm-up holdoff the newest shard is not yet absorbing
+	// load: the mean the watermarks judge divides by one fewer shard.
+	eff := len(s.Shards)
+	if a.warming && eff > 1 {
+		eff--
+	}
+	avg := float64(s.Sessions) / float64(eff)
 	a.lastAvg, a.lastShards = avg, len(s.Shards)
 	// A draining migration pins the ring (resizes would fail with
 	// ErrResizing anyway) and inflates populations (mid-flight entries
@@ -155,6 +176,10 @@ func (a *Autoscaler) record(act ResizeAction) {
 		a.lastResize = act.At
 		a.resized = true
 		a.aboveHigh, a.belowLow = 0, 0
+		if act.Added && a.cfg.WarmUp > 0 {
+			a.warming = true
+			a.warmUntil = act.At + a.cfg.WarmUp
+		}
 	}
 	if a.cfg.OnResize != nil {
 		a.cfg.OnResize(act)
@@ -179,6 +204,7 @@ type AutoscalerStatus struct {
 	AvgLoad   float64        `json:"avg_load"`
 	HighWater float64        `json:"high_water"`
 	LowWater  float64        `json:"low_water"`
+	Warming   bool           `json:"warming"`
 	Actions   []ResizeAction `json:"actions"`
 }
 
@@ -189,6 +215,7 @@ func (a *Autoscaler) Status() any {
 		AvgLoad:   a.lastAvg,
 		HighWater: a.cfg.HighWater,
 		LowWater:  a.cfg.LowWater,
+		Warming:   a.warming,
 		Actions:   append([]ResizeAction(nil), a.Actions...),
 	}
 }

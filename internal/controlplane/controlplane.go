@@ -4,14 +4,19 @@
 // plane.
 //
 // The observe half is a signal bus: client monitors publish failure
-// reports, the latency tap publishes per-operation response times, and
-// the plane's own probes publish per-shard session populations and brick
-// heartbeat loss. The decide/act half is a set of controllers that
-// subscribe to the bus: a RecoveryController feeds the recovery
-// manager's diagnosis engine, an Autoscaler resizes the SSM brick ring
-// against load watermarks, and a MigrationPacer adapts the background
-// migrator's per-step budget to foreground client latency. Components
-// stop calling each other directly; they meet on the bus.
+// reports, the latency tap publishes per-operation response times,
+// recovery managers publish node recovery lifecycles, the comparison
+// detector publishes sampled discrepancies, and the plane's own probes
+// publish per-shard session populations, brick heartbeat loss, and
+// per-node load samples (queue depth, busy workers). The decide/act half
+// is a set of controllers that subscribe to the bus: a
+// RecoveryController feeds the recovery manager's diagnosis engine, an
+// Autoscaler resizes the SSM brick ring against load watermarks, a
+// MigrationPacer adapts the background migrator's per-step budget to
+// foreground client latency, and a FleetController drives the load
+// balancer's drain/failover state and orchestrates rolling node
+// rejuvenation. Components stop calling each other directly; they meet
+// on the bus.
 //
 // The plane is driven the same way the rest of this codebase is: a host
 // calls Tick periodically (a simulation-kernel event in experiments, a
@@ -43,7 +48,20 @@ const (
 	SignalShardLoad
 	// SignalLatency is one client-observed operation response time.
 	SignalLatency
+	// SignalNodeLoad is one node's load/health sample from the fleet
+	// probe (queue depth, busy workers, outcome counters).
+	SignalNodeLoad
+	// SignalNodeRecovery is a recovery manager announcing that a node is
+	// entering (Recovering true) or leaving (false) recovery. The fleet
+	// controller turns these into load-balancer drain/restore actions.
+	SignalNodeRecovery
+	// SignalDiscrepancy is one comparison-detector mismatch: a sampled
+	// live response differed from the known-good instance's.
+	SignalDiscrepancy
 )
+
+// signalKinds is the number of distinct kinds (bus counter array size).
+const signalKinds = 7
 
 // String names the kind for status surfaces.
 func (k SignalKind) String() string {
@@ -56,6 +74,12 @@ func (k SignalKind) String() string {
 		return "shard-load"
 	case SignalLatency:
 		return "latency"
+	case SignalNodeLoad:
+		return "node-load"
+	case SignalNodeRecovery:
+		return "node-recovery"
+	case SignalDiscrepancy:
+		return "discrepancy"
 	default:
 		return "unknown"
 	}
@@ -82,6 +106,44 @@ type Signal struct {
 	// SignalLatency: one operation's response time and outcome.
 	Latency time.Duration
 	OK      bool
+
+	// SignalNodeLoad / SignalNodeRecovery: the node concerned.
+	Node string
+
+	// SignalNodeLoad: the node's full load sample.
+	Load NodeStat
+
+	// SignalNodeRecovery: entering (true) or leaving (false) recovery.
+	Recovering bool
+
+	// SignalDiscrepancy: what the comparison detector saw (Op carries
+	// the operation).
+	Detail string
+}
+
+// NodeStat is one application-server node's load/health sample as
+// published by the fleet probe (SignalNodeLoad). Queue depth and busy
+// workers are the backpressure signals queue-aware routing policies and
+// the fleet controller act on; the cumulative outcome counters let
+// controllers derive in-flight failure rates from sample deltas.
+type NodeStat struct {
+	Node       string `json:"node"`
+	Queue      int    `json:"queue"`
+	Busy       int    `json:"busy"`
+	Workers    int    `json:"workers"`
+	Down       bool   `json:"down"`
+	Recovering bool   `json:"recovering"`
+	Draining   bool   `json:"draining"`
+	Completed  int64  `json:"completed"`
+	Failed     int64  `json:"failed"`
+}
+
+// FleetProbe is the per-node view the plane samples every tick;
+// *cluster.LoadBalancer implements it. Unlike the O(sessions) cluster
+// probe, a fleet sample is a handful of integer reads per node, so it
+// runs on every tick rather than on the probe interval.
+type FleetProbe interface {
+	FleetStats() []NodeStat
 }
 
 // Bus fans observations out to subscribers synchronously, in
@@ -89,7 +151,7 @@ type Signal struct {
 // The Plane serializes all publishes under its lock.
 type Bus struct {
 	subs   []func(Signal)
-	counts [4]int64
+	counts [signalKinds]int64
 }
 
 // Subscribe registers a consumer for every signal.
@@ -151,6 +213,9 @@ type Config struct {
 	// populations become SignalShardLoad, missing brick heartbeats
 	// SignalBrickDead.
 	Cluster ShardCluster
+	// Fleet, when set, is probed every Tick: each node's load sample
+	// becomes one SignalNodeLoad.
+	Fleet FleetProbe
 	// ProbeInterval overrides the cluster probe cadence
 	// (DefaultProbeInterval when zero). Ticks between probes still run
 	// the controllers.
@@ -163,6 +228,7 @@ type Plane struct {
 	clock         Clock
 	bus           *Bus
 	cluster       ShardCluster
+	fleet         FleetProbe
 	probeInterval time.Duration
 
 	controllers []Controller
@@ -179,7 +245,7 @@ func New(cfg Config) *Plane {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
-	return &Plane{clock: cfg.Clock, bus: &Bus{}, cluster: cfg.Cluster, probeInterval: cfg.ProbeInterval}
+	return &Plane{clock: cfg.Clock, bus: &Bus{}, cluster: cfg.Cluster, fleet: cfg.Fleet, probeInterval: cfg.ProbeInterval}
 }
 
 // Use attaches a controller: it is subscribed to the bus and ticked on
@@ -211,6 +277,19 @@ func (p *Plane) ObserveOp(latency time.Duration, ok bool) {
 	p.Publish(Signal{Kind: SignalLatency, Latency: latency, OK: ok})
 }
 
+// ReportNodeRecovery publishes a node's recovery lifecycle edge — the
+// recovery manager's entry point onto the bus (the fleet controller
+// actuates the load balancer's drain from these; nobody calls the LB
+// directly anymore).
+func (p *Plane) ReportNodeRecovery(node string, recovering bool) {
+	p.Publish(Signal{Kind: SignalNodeRecovery, Node: node, Recovering: recovering})
+}
+
+// ReportDiscrepancy publishes one comparison-detector mismatch.
+func (p *Plane) ReportDiscrepancy(op, detail string) {
+	p.Publish(Signal{Kind: SignalDiscrepancy, Op: op, Detail: detail})
+}
+
 // Tick runs one observe–decide–act round: the probes publish what they
 // see (at most once per ProbeInterval), then every controller gets its
 // decide step; the act closures the controllers return run last, after
@@ -221,6 +300,11 @@ func (p *Plane) ObserveOp(latency time.Duration, ok bool) {
 func (p *Plane) Tick() {
 	now := p.clock()
 	var probes []Signal
+	if p.fleet != nil {
+		for _, st := range p.fleet.FleetStats() {
+			probes = append(probes, Signal{Kind: SignalNodeLoad, At: now, Node: st.Node, Load: st})
+		}
+	}
 	if p.cluster != nil && p.probeDue(now) {
 		pops := p.cluster.ShardPopulations()
 		total := 0
@@ -290,4 +374,17 @@ func (p *Plane) Status() Status {
 		st.Controllers[c.Name()] = c.Status()
 	}
 	return st
+}
+
+// ControllerStatus snapshots one controller by name (status surfaces
+// that want a single controller's view, e.g. /admin/fleet/status).
+func (p *Plane) ControllerStatus(name string) (any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.controllers {
+		if c.Name() == name {
+			return c.Status(), true
+		}
+	}
+	return nil, false
 }

@@ -393,3 +393,263 @@ func TestAutoscalerRetriesAfterActuatorError(t *testing.T) {
 		t.Fatal("resized during the post-success cooldown")
 	}
 }
+
+// fakeFleet records drain flips and reboots, and lets tests shape the
+// node-load samples the controller sees.
+type fakeFleet struct {
+	drains   []string // "+name" / "-name"
+	reboots  []string
+	duration time.Duration
+	err      error
+}
+
+func (f *fakeFleet) SetDrain(node string, drain bool) bool {
+	if drain {
+		f.drains = append(f.drains, "+"+node)
+	} else {
+		f.drains = append(f.drains, "-"+node)
+	}
+	return true
+}
+
+func (f *fakeFleet) RebootNode(node string) (time.Duration, error) {
+	f.reboots = append(f.reboots, node)
+	return f.duration, f.err
+}
+
+// nodeLoad builds one node-load sample.
+func nodeLoad(at time.Duration, node string, queue, busy int) Signal {
+	return Signal{Kind: SignalNodeLoad, At: at, Node: node,
+		Load: NodeStat{Node: node, Queue: queue, Busy: busy, Workers: 4}}
+}
+
+// tickFleet runs one decide+act round the way the plane does.
+func tickFleet(f *FleetController, now time.Duration) {
+	if act := f.Tick(now); act != nil {
+		act()
+	}
+}
+
+func TestFleetControllerDrainsOnRecoverySignals(t *testing.T) {
+	fa := &fakeFleet{}
+	fc := NewFleetController(fa, FleetConfig{})
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: true})
+	// A duplicate edge is idempotent.
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: true})
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: false})
+	if len(fa.drains) != 2 || fa.drains[0] != "+node0" || fa.drains[1] != "-node0" {
+		t.Fatalf("drains = %v, want one drain and one restore", fa.drains)
+	}
+	st := fc.Status().(FleetStatus)
+	if st.Drains != 1 || st.Restores != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestFleetControllerRollingPassWaitsForDrain(t *testing.T) {
+	fa := &fakeFleet{duration: 20 * time.Second}
+	fc := NewFleetController(fa, FleetConfig{DrainTimeout: 10 * time.Second})
+	fc.OnSignal(nodeLoad(time.Second, "node0", 0, 2))
+	fc.OnSignal(nodeLoad(time.Second, "node1", 0, 0))
+	tickFleet(fc, time.Second) // arms the schedule; nothing due
+
+	fc.RequestRejuvenation()
+	tickFleet(fc, 2*time.Second)
+	if len(fa.drains) != 1 || fa.drains[0] != "+node0" {
+		t.Fatalf("drains = %v, want node0 drained first", fa.drains)
+	}
+	// Still busy: the reboot must wait.
+	fc.OnSignal(nodeLoad(3*time.Second, "node0", 0, 1))
+	tickFleet(fc, 3*time.Second)
+	if len(fa.reboots) != 0 {
+		t.Fatal("rebooted before the node drained")
+	}
+	// Drained: reboot fires, and the restore waits out the reboot.
+	fc.OnSignal(nodeLoad(4*time.Second, "node0", 0, 0))
+	tickFleet(fc, 4*time.Second)
+	if len(fa.reboots) != 1 || fa.reboots[0] != "node0" {
+		t.Fatalf("reboots = %v", fa.reboots)
+	}
+	tickFleet(fc, 5*time.Second)
+	if len(fa.drains) != 1 {
+		t.Fatal("restored while the node was still rebooting")
+	}
+	tickFleet(fc, 24*time.Second+100*time.Millisecond)
+	if len(fa.drains) != 2 || fa.drains[1] != "-node0" {
+		t.Fatalf("drains = %v, want the restore after the reboot window", fa.drains)
+	}
+	if fc.Rejuvenations() != 1 {
+		t.Fatalf("rejuvenations = %d", fc.Rejuvenations())
+	}
+}
+
+func TestFleetControllerDrainTimeoutForcesReboot(t *testing.T) {
+	fa := &fakeFleet{duration: time.Second}
+	fc := NewFleetController(fa, FleetConfig{RejuvenateEvery: 10 * time.Second, DrainTimeout: 5 * time.Second})
+	fc.OnSignal(nodeLoad(time.Second, "node0", 3, 4))
+	tickFleet(fc, time.Second)
+	tickFleet(fc, 11*time.Second) // schedule due: drain starts
+	if len(fa.drains) != 1 {
+		t.Fatalf("drains = %v", fa.drains)
+	}
+	// The node never empties — a wedged request holds a worker — but the
+	// drain timeout bounds the wait.
+	fc.OnSignal(nodeLoad(12*time.Second, "node0", 0, 1))
+	tickFleet(fc, 12*time.Second)
+	if len(fa.reboots) != 0 {
+		t.Fatal("rebooted before the timeout")
+	}
+	tickFleet(fc, 16*time.Second+time.Millisecond)
+	if len(fa.reboots) != 1 {
+		t.Fatalf("reboots = %v, want the timeout to force it", fa.reboots)
+	}
+}
+
+func TestFleetControllerKeepsVictimDrainedThroughRecoverySignals(t *testing.T) {
+	fa := &fakeFleet{duration: 10 * time.Second}
+	fc := NewFleetController(fa, FleetConfig{DrainTimeout: 5 * time.Second})
+	fc.OnSignal(nodeLoad(time.Second, "node0", 0, 0))
+	tickFleet(fc, time.Second)
+	fc.RequestRejuvenation()
+	tickFleet(fc, 2*time.Second) // pass starts: node0 drained
+
+	// A component recovery on the victim completes mid-pass: its
+	// recovered edge must NOT undrain the node the rolling reboot owns.
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: true})
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: false})
+	for _, d := range fa.drains[1:] {
+		if d == "-node0" {
+			t.Fatalf("recovery signal undrained the rolling victim: %v", fa.drains)
+		}
+	}
+	// The pass still completes and restores exactly once.
+	fc.OnSignal(nodeLoad(3*time.Second, "node0", 0, 0))
+	tickFleet(fc, 3*time.Second) // reboot fires
+	tickFleet(fc, 14*time.Second)
+	if fa.drains[len(fa.drains)-1] != "-node0" {
+		t.Fatalf("pass did not restore the victim: %v", fa.drains)
+	}
+}
+
+func TestFleetControllerFailedRebootIsNotARejuvenation(t *testing.T) {
+	fa := &fakeFleet{err: errors.New("node vanished")}
+	fc := NewFleetController(fa, FleetConfig{DrainTimeout: time.Second})
+	fc.OnSignal(nodeLoad(time.Second, "node0", 0, 0))
+	tickFleet(fc, time.Second)
+	fc.RequestRejuvenation()
+	tickFleet(fc, 2*time.Second) // drain
+	fc.OnSignal(nodeLoad(3*time.Second, "node0", 0, 0))
+	tickFleet(fc, 3*time.Second) // reboot attempt fails
+	tickFleet(fc, 4*time.Second) // pass ends: drain restored, no credit
+	if fc.Rejuvenations() != 0 {
+		t.Fatalf("rejuvenations = %d after a failed reboot, want 0", fc.Rejuvenations())
+	}
+	st := fc.Status().(FleetStatus)
+	if len(st.Reboots) != 1 || st.Reboots[0].Err == "" {
+		t.Fatalf("reboot log = %+v, want one errored entry", st.Reboots)
+	}
+	if fa.drains[len(fa.drains)-1] != "-node0" {
+		t.Fatalf("failed pass left node0 drained: %v", fa.drains)
+	}
+}
+
+func TestFleetControllerHoldsWhileRecoveryDrains(t *testing.T) {
+	fa := &fakeFleet{duration: time.Second}
+	fc := NewFleetController(fa, FleetConfig{DrainTimeout: 5 * time.Second})
+	fc.OnSignal(nodeLoad(time.Second, "node0", 0, 0))
+	tickFleet(fc, time.Second)
+	// A recovery is in flight: rejuvenation must not stack a second
+	// drain on the fleet.
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: true})
+	fc.RequestRejuvenation()
+	tickFleet(fc, 2*time.Second)
+	if len(fa.reboots) != 0 || len(fa.drains) != 1 {
+		t.Fatalf("rolling pass started during recovery: drains=%v reboots=%v", fa.drains, fa.reboots)
+	}
+	fc.OnSignal(Signal{Kind: SignalNodeRecovery, Node: "node0", Recovering: false})
+	fc.OnSignal(nodeLoad(3*time.Second, "node0", 0, 0))
+	tickFleet(fc, 3*time.Second)
+	if len(fa.drains) != 3 || fa.drains[2] != "+node0" {
+		t.Fatalf("queued pass did not start after recovery: %v", fa.drains)
+	}
+}
+
+func TestPlaneFleetProbePublishesNodeLoad(t *testing.T) {
+	clock := &manualClock{}
+	probe := fleetProbeFunc(func() []NodeStat {
+		return []NodeStat{{Node: "node0", Queue: 3, Busy: 2}, {Node: "node1"}}
+	})
+	p := New(Config{Clock: clock.Now, Fleet: probe})
+	var got []Signal
+	p.Use(&funcController{name: "watch", onSignal: func(s Signal) {
+		if s.Kind == SignalNodeLoad {
+			got = append(got, s)
+		}
+	}})
+	clock.Advance(time.Second)
+	p.Tick()
+	clock.Advance(time.Second)
+	p.Tick()
+	if len(got) != 4 {
+		t.Fatalf("node-load signals = %d, want 2 nodes × 2 ticks", len(got))
+	}
+	if got[0].Node != "node0" || got[0].Load.Queue != 3 || got[0].Load.Busy != 2 {
+		t.Fatalf("sample = %+v", got[0])
+	}
+	if st := p.Status(); st.Signals["node-load"] != 4 {
+		t.Fatalf("status counts = %v", st.Signals)
+	}
+	if _, ok := p.ControllerStatus("watch"); !ok {
+		t.Fatal("ControllerStatus lookup failed")
+	}
+	if _, ok := p.ControllerStatus("ghost"); ok {
+		t.Fatal("ControllerStatus invented a controller")
+	}
+}
+
+type fleetProbeFunc func() []NodeStat
+
+func (f fleetProbeFunc) FleetStats() []NodeStat { return f() }
+
+func TestRecoveryControllerBridgesDiscrepancies(t *testing.T) {
+	fs := &fakeSink{}
+	rc := NewRecoveryController(fs)
+	rc.OnSignal(Signal{Kind: SignalDiscrepancy, Op: "ViewItem", Detail: "body differs"})
+	if len(fs.reports) != 1 || fs.reports[0] != (recovery.Report{Op: "ViewItem", Kind: "comparison-mismatch"}) {
+		t.Fatalf("reports = %+v", fs.reports)
+	}
+	if st := rc.Status().(RecoveryStatus); st.Discrepancies != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestAutoscalerWarmUpHoldoffChargesGrow(t *testing.T) {
+	fr := &fakeResizer{next: 2}
+	a := NewAutoscaler(fr, AutoscalerConfig{
+		MinShards: 1, MaxShards: 4, HighWater: 100, LowWater: 60, Sustain: 1,
+		Cooldown: time.Second, WarmUp: time.Minute,
+	})
+	a.OnSignal(loadSignal(time.Second, 2, 150, false))
+	if fr.added != 1 {
+		t.Fatal("grow did not fire")
+	}
+	// 3 shards × 80 sessions: the raw mean (80) sits between the
+	// watermarks, but during warm-up the new shard absorbs nothing —
+	// the charged mean is 240/2 = 120, still past the high water, so
+	// the dip the new denominator would fake cannot trigger a shrink
+	// and the controller still sees the pressure it paid to relieve.
+	a.OnSignal(loadSignal(3*time.Second, 3, 80, false))
+	st := a.Status().(AutoscalerStatus)
+	if !st.Warming || st.AvgLoad != 120 {
+		t.Fatalf("warm-up mean = %.0f (warming=%v), want 120 over 2 shards", st.AvgLoad, st.Warming)
+	}
+	// After the holdoff the full ring counts again.
+	a.OnSignal(loadSignal(2*time.Minute, 3, 80, false))
+	st = a.Status().(AutoscalerStatus)
+	if st.Warming || st.AvgLoad != 80 {
+		t.Fatalf("post-warm-up mean = %.0f (warming=%v), want 80 over 3 shards", st.AvgLoad, st.Warming)
+	}
+	if len(fr.removed) != 0 {
+		t.Fatalf("warm-up dip triggered a shrink: %v", fr.removed)
+	}
+}

@@ -16,13 +16,16 @@ type FailureSink interface {
 
 // RecoveryController bridges the bus to the recovery manager: failure
 // signals become diagnosis reports, brick heartbeat loss becomes brick
-// failure reports. With it, the monitors that used to call the manager
-// directly (client-side detectors, the brick heartbeat pump) just
-// publish, and recovery becomes one more controller on the plane.
+// failure reports, and sampled comparison-detector discrepancies feed
+// the same diagnosis (the paper's second detector finding complex
+// failures the client-side checks miss). With it, the monitors that
+// used to call the manager directly (client-side detectors, the brick
+// heartbeat pump) just publish, and recovery becomes one more
+// controller on the plane.
 type RecoveryController struct {
 	sink FailureSink
 
-	failures, brickFailures int64
+	failures, brickFailures, discrepancies int64
 }
 
 // NewRecoveryController builds the bridge into the given sink.
@@ -42,6 +45,9 @@ func (r *RecoveryController) OnSignal(s Signal) {
 	case SignalBrickDead:
 		r.brickFailures++
 		r.sink.ReportBrickFailure(s.Brick)
+	case SignalDiscrepancy:
+		r.discrepancies++
+		r.sink.Report(recovery.Report{Op: s.Op, Kind: "comparison-mismatch"})
 	}
 }
 
@@ -53,9 +59,10 @@ func (r *RecoveryController) Tick(time.Duration) func() { return nil }
 type RecoveryStatus struct {
 	FailureReports int64 `json:"failure_reports"`
 	BrickFailures  int64 `json:"brick_failure_reports"`
+	Discrepancies  int64 `json:"discrepancy_reports"`
 }
 
 // Status implements Controller.
 func (r *RecoveryController) Status() any {
-	return RecoveryStatus{FailureReports: r.failures, BrickFailures: r.brickFailures}
+	return RecoveryStatus{FailureReports: r.failures, BrickFailures: r.brickFailures, Discrepancies: r.discrepancies}
 }

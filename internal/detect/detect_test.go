@@ -94,3 +94,78 @@ func TestComparisonToleratesTimingNondeterminism(t *testing.T) {
 func replaceFirstAmount(s string) string {
 	return volatile.ReplaceAllString(s, "999.99")
 }
+
+func TestSamplerStrideAndEligibility(t *testing.T) {
+	good := newGoodApp(t)
+	var flagged []string
+	s := &Sampler{
+		Comp:  &Comparison{Good: good},
+		Every: 4,
+		OnDiscrepancy: func(op string, v Verdict) {
+			flagged = append(flagged, op+"/"+v.Detail)
+		},
+	}
+
+	call := &core.Call{Op: ebid.ViewItem, Args: map[string]any{"item": int64(3)}}
+	body, err := good.Execute(context.Background(), &core.Call{Op: ebid.ViewItem, Args: call.Args})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ineligible traffic is never replayed: writes would fork the
+	// known-good instance, session reads cannot replay without state,
+	// and failures are the client-side detector's job — a transient 503
+	// replayed here would masquerade as corruption.
+	s.Observe(&core.Call{Op: ebid.CommitBid}, workload.Response{Body: "x"})
+	s.Observe(&core.Call{Op: ebid.AboutMe}, workload.Response{Body: "x"})
+	s.Observe(call, workload.Response{Err: errors.New("503 retry after")})
+	s.Observe(nil, workload.Response{})
+	if seen, checked, _ := s.Stats(); seen != 0 || checked != 0 {
+		t.Fatalf("ineligible ops counted: seen=%d checked=%d", seen, checked)
+	}
+
+	// Eight eligible ops at stride 4: exactly two replays.
+	for i := 0; i < 8; i++ {
+		s.Observe(call, workload.Response{Body: body})
+	}
+	if seen, checked, flaggedN := s.Stats(); seen != 8 || checked != 2 || flaggedN != 0 {
+		t.Fatalf("stride accounting: seen=%d checked=%d flagged=%d, want 8/2/0", seen, checked, flaggedN)
+	}
+
+	// A corrupted sampled response is flagged and reported.
+	for i := 0; i < 4; i++ {
+		s.Observe(call, workload.Response{Body: "<html>item 3: SWAPPED, max bid 7.00</html>"})
+	}
+	if _, _, flaggedN := s.Stats(); flaggedN != 1 {
+		t.Fatalf("flagged = %d, want 1 (one of the four corrupted ops sampled)", flaggedN)
+	}
+	if len(flagged) != 1 || flagged[0] != ebid.ViewItem+"/body differs from known-good instance" {
+		t.Fatalf("OnDiscrepancy = %v", flagged)
+	}
+}
+
+func TestSampledFrontendObservesCompletions(t *testing.T) {
+	good := newGoodApp(t)
+	s := &Sampler{Comp: &Comparison{Good: good}, Every: 1}
+	var completed int
+	fe := &SampledFrontend{Inner: frontendFunc(func(req *workload.Request) {
+		// A stand-in node: fill in the call and complete with the
+		// known-good body, as the real node does.
+		req.Call = &core.Call{Op: req.Op, Args: req.Args}
+		body, err := good.Execute(context.Background(), &core.Call{Op: req.Op, Args: req.Args})
+		req.Complete(workload.Response{Body: body, Err: err})
+	}), S: s}
+
+	fe.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(5)},
+		Complete: func(workload.Response) { completed++ }})
+	if completed != 1 {
+		t.Fatal("inner completion not delivered")
+	}
+	if seen, checked, flagged := s.Stats(); seen != 1 || checked != 1 || flagged != 0 {
+		t.Fatalf("sampler missed the live completion: %d/%d/%d", seen, checked, flagged)
+	}
+}
+
+type frontendFunc func(*workload.Request)
+
+func (f frontendFunc) Submit(req *workload.Request) { f(req) }

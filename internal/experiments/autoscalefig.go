@@ -78,7 +78,7 @@ func FigureAutoscale(o Options) *AutoscaleResult {
 				panic("experiments: autoscale cluster: " + err.Error())
 			}
 			return cl
-		})
+		}, nil)
 	cl := ce.bricks
 	cfg := cl.Config()
 

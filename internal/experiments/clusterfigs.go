@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/ebid"
 	"repro/internal/faults"
@@ -62,6 +63,7 @@ func Figure3(o Options) *Figure3Result {
 
 func runFigure3(o Options, nNodes int, useRestart bool) (failed int64, sessionsFailedOver int, total int64) {
 	ce := newClusterEnv(o, nNodes, o.clients(500), o.clusterKind())
+	ce.fleetPlane(controlplane.FleetConfig{})
 	ce.emulator.Start()
 	warm := o.scale(3 * time.Minute)
 	ce.kernel.RunFor(warm)
@@ -73,10 +75,11 @@ func runFigure3(o Options, nNodes int, useRestart bool) (failed int64, sessionsF
 	}); err != nil {
 		panic(err)
 	}
-	// Detection latency before RM notices and notifies LB.
+	// Detection latency before RM notices and announces recovery on the
+	// bus; the fleet controller drains the node's traffic.
 	ce.kernel.RunFor(2 * time.Second)
 	ce.lb.ResetFailoverStats()
-	ce.lb.SetRedirect(bad, true)
+	ce.plane.ReportNodeRecovery(bad.Name, true)
 	var rb *core.Reboot
 	var err error
 	if useRestart {
@@ -87,7 +90,7 @@ func runFigure3(o Options, nNodes int, useRestart bool) (failed int64, sessionsF
 	if err != nil {
 		panic(err)
 	}
-	ce.kernel.Schedule(rb.Duration(), func() { ce.lb.SetRedirect(bad, false) })
+	ce.kernel.Schedule(rb.Duration(), func() { ce.plane.ReportNodeRecovery(bad.Name, false) })
 
 	ce.kernel.RunFor(o.scale(10*time.Minute) - warm - 2*time.Second)
 	ce.emulator.Stop()
@@ -167,6 +170,7 @@ func runFigure4(o Options, nNodes int, useRestart bool) (peak time.Duration, ove
 	// per-node load — the regime the paper's un-admission-controlled
 	// servers operate in.
 	ce := newClusterEnvCfg(o, nNodes, 1000, o.clusterKind(), cluster.NodeConfig{Workers: 4, CongestionScale: 400})
+	ce.fleetPlane(controlplane.FleetConfig{})
 	ce.emulator.Start()
 	// Let the system stabilize at the higher load before injecting
 	// (the paper extends the run to 13 minutes for this reason).
@@ -180,7 +184,7 @@ func runFigure4(o Options, nNodes int, useRestart bool) (peak time.Duration, ove
 		panic(err)
 	}
 	ce.kernel.RunFor(2 * time.Second)
-	ce.lb.SetRedirect(bad, true)
+	ce.plane.ReportNodeRecovery(bad.Name, true)
 	var rb *core.Reboot
 	var err error
 	if useRestart {
@@ -191,7 +195,7 @@ func runFigure4(o Options, nNodes int, useRestart bool) (peak time.Duration, ove
 	if err != nil {
 		panic(err)
 	}
-	ce.kernel.Schedule(rb.Duration(), func() { ce.lb.SetRedirect(bad, false) })
+	ce.kernel.Schedule(rb.Duration(), func() { ce.plane.ReportNodeRecovery(bad.Name, false) })
 
 	ce.kernel.RunFor(o.scale(13*time.Minute) - warm - 2*time.Second)
 	ce.emulator.Stop()

@@ -359,6 +359,44 @@ func TestFigureAutoscaleClosedLoopResize(t *testing.T) {
 	t.Log("\n" + r.String())
 }
 
+func TestFigureFleetRoutingBeatsRoundRobin(t *testing.T) {
+	r := FigureFleet(quick)
+	rr, routed := r.RoundRobin, r.Routed
+	// The static balancer drowns the degraded node; queue-aware routing
+	// plus shedding must hold the tail at least 2x lower (measured ~88x).
+	if rr.P99 < 2*routed.P99 {
+		t.Fatalf("p99: round-robin %v vs routed %v, want ≥2x separation", rr.P99, routed.P99)
+	}
+	if rr.MaxQueueDegraded < 4*routed.MaxQueueDegraded {
+		t.Fatalf("degraded-node queue: rr %d vs routed %d, want ≥4x separation",
+			rr.MaxQueueDegraded, routed.MaxQueueDegraded)
+	}
+	// Admission control actually engaged — and only in the shed run.
+	if routed.Shed == 0 {
+		t.Fatal("shedding policy never shed under fleet-wide overload")
+	}
+	if rr.Shed != 0 {
+		t.Fatalf("round-robin run shed %d requests", rr.Shed)
+	}
+	// Overload slows the fleet; it must not eat state.
+	if rr.LostSessions != 0 || routed.LostSessions != 0 {
+		t.Fatalf("lost sessions: rr=%d routed=%d, want 0", rr.LostSessions, routed.LostSessions)
+	}
+	// Shedding trades rejected logins for served traffic: goodput must
+	// not fall below the collapsing baseline.
+	if routed.GoodOps < rr.GoodOps {
+		t.Fatalf("goodput: routed %d < round-robin %d", routed.GoodOps, rr.GoodOps)
+	}
+	// The sampled comparison detector rode the live stream cleanly.
+	if rr.SampledChecks == 0 || routed.SampledChecks == 0 {
+		t.Fatalf("comparison sampler never ran: %d/%d checks", rr.SampledChecks, routed.SampledChecks)
+	}
+	if rr.Discrepancies != 0 || routed.Discrepancies != 0 {
+		t.Fatalf("fault-free run flagged discrepancies: %d/%d", rr.Discrepancies, routed.Discrepancies)
+	}
+	t.Log("\n" + r.String())
+}
+
 func TestFigureBrickSlowRoutingHoldsTheTail(t *testing.T) {
 	r := FigureBrickSlow(quick)
 	// Fail-stutter, not fail-stop: nobody fails in either mode.

@@ -188,6 +188,10 @@ type clusterEnv struct {
 	// bricks is the cross-node brick cluster shared by every node when
 	// the environment was built with useSharedCluster.
 	bricks *session.SSMCluster
+	// plane/fleet are set by fleetPlane: the control plane owning the
+	// balancer's drain state.
+	plane *controlplane.Plane
+	fleet *controlplane.FleetController
 }
 
 func newClusterEnv(o Options, nNodes, clientsPerNode int, kind storeKind) *clusterEnv {
@@ -195,14 +199,16 @@ func newClusterEnv(o Options, nNodes, clientsPerNode int, kind storeKind) *clust
 }
 
 func newClusterEnvCfg(o Options, nNodes, clientsPerNode int, kind storeKind, nodeCfg cluster.NodeConfig) *clusterEnv {
-	return newClusterEnvFull(o, nNodes, clientsPerNode, kind, nodeCfg, nil)
+	return newClusterEnvFull(o, nNodes, clientsPerNode, kind, nodeCfg, nil, nil)
 }
 
 // newClusterEnvFull is newClusterEnvCfg plus an optional brick-cluster
 // builder, so experiments that need a non-standard ring geometry (the
 // autoscaler figure starts small, with a short lease TTL) can supply
-// their own shared cluster.
-func newClusterEnvFull(o Options, nNodes, clientsPerNode int, kind storeKind, nodeCfg cluster.NodeConfig, bricks func(*sim.Kernel) *session.SSMCluster) *clusterEnv {
+// their own shared cluster, and an optional per-node config hook for
+// heterogeneous fleets (the fleet figure degrades one node's worker
+// pool).
+func newClusterEnvFull(o Options, nNodes, clientsPerNode int, kind storeKind, nodeCfg cluster.NodeConfig, bricks func(*sim.Kernel) *session.SSMCluster, perNode func(i int, cfg *cluster.NodeConfig)) *clusterEnv {
 	k := sim.NewKernel(o.seed())
 	d := db.New(nil)
 	ds := experimentDataset(o)
@@ -233,6 +239,9 @@ func newClusterEnvFull(o Options, nNodes, clientsPerNode int, kind storeKind, no
 		cfg := nodeCfg
 		cfg.Name = nodeName(i)
 		cfg.Dataset = ds
+		if perNode != nil {
+			perNode(i, &cfg)
+		}
 		n, err := cluster.NewNode(k, d, store, cfg)
 		if err != nil {
 			panic("experiments: node: " + err.Error())
@@ -254,6 +263,17 @@ func newClusterEnvFull(o Options, nNodes, clientsPerNode int, kind storeKind, no
 
 func nodeName(i int) string {
 	return "node" + string(rune('0'+i))
+}
+
+// fleetPlane attaches a control plane whose FleetController owns the
+// balancer's drain state: experiments stop flipping the LB directly and
+// publish node-recovery signals instead, exactly as a recovery manager
+// bound via controlplane.BindRecoveryLifecycle would.
+func (ce *clusterEnv) fleetPlane(cfg controlplane.FleetConfig) *controlplane.Plane {
+	ce.plane = controlplane.New(controlplane.Config{Clock: ce.kernel.Now, Fleet: ce.lb})
+	ce.fleet = controlplane.NewFleetController(ce.lb, cfg)
+	ce.plane.Use(ce.fleet)
+	return ce.plane
 }
 
 // pumpEvery schedules fn as a recurring kernel event — the simulation

@@ -23,12 +23,15 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/ebid"
 	"repro/internal/store/session"
+	"repro/internal/workload"
 )
 
 // DefaultRequestTTL is the execution lease granted to each HTTP request;
@@ -49,8 +52,43 @@ type Front struct {
 	// (op latency, failure reports) and serves its operator status at
 	// /admin/controlplane/status.
 	Plane *controlplane.Plane
-	start time.Time
+	// ShedWatermark, when positive, enables admission control: a request
+	// that would start a session (no cookie yet) is answered 503 +
+	// Retry-After while more than ShedWatermark requests are in flight.
+	// Established sessions are never shed.
+	ShedWatermark int
+	// ShedRetryAfter overrides the interval advertised to shed clients
+	// (default: the paper's 2 s).
+	ShedRetryAfter time.Duration
+	// Sampler, when set, replays a sampled fraction of idempotent
+	// operations against a known-good shadow instance (the paper's
+	// comparison detector on live traffic).
+	Sampler *detect.Sampler
+	start   time.Time
+
+	inflight atomic.Int64
+	shedded  atomic.Int64
 }
+
+// NodeName is how the front identifies itself in fleet-status surfaces.
+const NodeName = "http0"
+
+// FleetStats implements controlplane.FleetProbe for the single-node
+// live server: in-flight requests stand in for busy workers so the
+// plane's node-load signals carry real backpressure.
+func (f *Front) FleetStats() []controlplane.NodeStat {
+	return []controlplane.NodeStat{{
+		Node:    NodeName,
+		Busy:    int(f.inflight.Load()),
+		Workers: f.ShedWatermark,
+	}}
+}
+
+// InFlight reports the requests currently executing.
+func (f *Front) InFlight() int64 { return f.inflight.Load() }
+
+// Shed reports how many requests admission control rejected.
+func (f *Front) Shed() int64 { return f.shedded.Load() }
 
 // New builds a front end for the given application. The server is put in
 // hang-parking mode: a request wedged by a deadlock or infinite loop
@@ -75,7 +113,32 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("/admin/ssm/removeshard", f.serveRemoveShard)
 	mux.HandleFunc("/admin/ssm/elastic", f.serveElastic)
 	mux.HandleFunc("/admin/controlplane/status", f.serveControlPlane)
+	mux.HandleFunc("/admin/fleet/status", f.serveFleet)
 	return mux
+}
+
+// serveFleet handles GET /admin/fleet/status: the front's own admission
+// counters, the comparison sampler's, and — when a fleet controller
+// runs on the plane — its per-node view and rolling-reboot log.
+func (f *Front) serveFleet(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"node":           NodeName,
+		"in_flight":      f.inflight.Load(),
+		"shed":           f.shedded.Load(),
+		"shed_watermark": f.ShedWatermark,
+	}
+	if f.Sampler != nil {
+		seen, checked, flagged := f.Sampler.Stats()
+		out["comparison"] = map[string]int64{
+			"eligible": seen, "checked": checked, "discrepancies": flagged,
+		}
+	}
+	if f.Plane != nil {
+		if st, ok := f.Plane.ControllerStatus("fleet"); ok {
+			out["controller"] = st
+		}
+	}
+	writeJSON(w, out)
 }
 
 // serveControlPlane handles GET /admin/controlplane/status: the plane's
@@ -217,6 +280,27 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown operation "+op, http.StatusNotFound)
 		return
 	}
+	cur := f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+	if f.ShedWatermark > 0 && cur > int64(f.ShedWatermark) {
+		// Admission control: past the watermark, requests that would
+		// start a session are turned away at the door with a retry hint
+		// instead of joining a queue that can only collapse (the paper's
+		// point about overloaded servers without admission control).
+		// Established sessions — anything already carrying a cookie —
+		// are always served.
+		if c, err := r.Cookie("EBIDSESSION"); err != nil || c.Value == "" {
+			f.shedded.Add(1)
+			after := f.ShedRetryAfter
+			if after <= 0 {
+				after = 2 * time.Second
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(after)))
+			http.Error(w, "overloaded: new sessions are being shed, retry shortly",
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
 	args := map[string]any{}
 	for key, vals := range r.URL.Query() {
 		if len(vals) == 0 {
@@ -246,8 +330,12 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 	// disconnects, lease expiry and µRB kills all cancel it.
 	began := time.Now()
 	body, err := f.App.Execute(r.Context(), call)
+	// Measure before the sampled replay: the shadow execution is
+	// detector overhead, not part of this request's latency.
+	elapsed := time.Since(began)
+	f.Sampler.Observe(call, workload.Response{Body: body, Err: err})
 	if f.Plane != nil {
-		f.Plane.ObserveOp(time.Since(began), err == nil)
+		f.Plane.ObserveOp(elapsed, err == nil)
 		if err != nil {
 			f.Plane.ReportFailure(op, failureKind(err))
 		}

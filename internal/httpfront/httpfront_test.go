@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/detect"
 	"repro/internal/ebid"
 	"repro/internal/faults"
 	"repro/internal/store/db"
@@ -523,5 +524,154 @@ func TestControlPlaneStatusEndpoint(t *testing.T) {
 	}
 	if st.Signals["failure"] != 1 {
 		t.Fatalf("failure signals = %d, want 1 (AboutMe without a session)", st.Signals["failure"])
+	}
+}
+
+func TestAdmissionControlShedsNewSessions(t *testing.T) {
+	f := newFront(t)
+	f.ShedWatermark = 1
+	f.ShedRetryAfter = 3 * time.Second
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	// Establish a session while the server is idle.
+	resp, err := http.Get(srv.URL + "/ebid/Authenticate?user=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var cookie *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == "EBIDSESSION" {
+			cookie = c
+		}
+	}
+	if cookie == nil {
+		t.Fatal("no session cookie issued")
+	}
+
+	// Wedge one worker so the in-flight count sits past the watermark.
+	inj := faults.NewInjector(f.App.Server, f.App.DB, f.App.Sessions)
+	if _, err := inj.Inject(faults.Spec{Kind: faults.InfiniteLoop, Component: ebid.ViewItem}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { http.Get(srv.URL + "/ebid/ViewItem?item=1") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.App.Server.ActiveCalls(ebid.ViewItem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked in ViewItem")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A cookie-less request is turned away with a retry hint — and no
+	// session cookie, so its retry is cheap.
+	resp, err = http.Get(srv.URL + "/ebid/Home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "3" {
+		t.Fatalf("Retry-After = %q, want 3", resp.Header.Get("Retry-After"))
+	}
+	if len(resp.Cookies()) != 0 {
+		t.Fatal("shed request was issued a session cookie")
+	}
+
+	// The established session rides through the overload.
+	req, _ := http.NewRequest("GET", srv.URL+"/ebid/AboutMe", nil)
+	req.AddCookie(cookie)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("established session status = %d, want 200", resp.StatusCode)
+	}
+
+	if f.Shed() != 1 {
+		t.Fatalf("shed counter = %d, want 1", f.Shed())
+	}
+	// Free the parked worker.
+	if _, err := f.App.Server.Microreboot(ebid.ViewItem); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetStatusEndpointWithSamplerAndPlane(t *testing.T) {
+	d := db.New(nil)
+	cfg := ebid.DatasetConfig{Users: 20, Items: 50, BidsPerItem: 2, Categories: 5, Regions: 5, OldItems: 5}
+	if err := ebid.LoadDataset(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	app, err := ebid.New(d, session.NewFastS(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := ebid.New(d, session.NewFastS(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(app)
+	start := time.Now()
+	f.Plane = controlplane.New(controlplane.Config{
+		Clock: func() time.Duration { return time.Since(start) },
+		Fleet: f,
+	})
+	f.Plane.Use(controlplane.NewFleetController(nil, controlplane.FleetConfig{}))
+	f.Sampler = &detect.Sampler{
+		Comp:  &detect.Comparison{Good: shadow},
+		Every: 1,
+		OnDiscrepancy: func(op string, v detect.Verdict) {
+			f.Plane.ReportDiscrepancy(op, v.Detail)
+		},
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	// One sampled idempotent read against the identical shadow: checked,
+	// no discrepancy.
+	resp, err := http.Get(srv.URL + "/ebid/ViewItem?item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	f.Plane.Tick() // the fleet probe publishes one node-load sample
+
+	resp, err = http.Get(srv.URL + "/admin/fleet/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Node       string `json:"node"`
+		Shed       int64  `json:"shed"`
+		Comparison struct {
+			Checked       int64 `json:"checked"`
+			Discrepancies int64 `json:"discrepancies"`
+		} `json:"comparison"`
+		Controller struct {
+			Nodes []controlplane.NodeStat `json:"nodes"`
+		} `json:"controller"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != NodeName || st.Shed != 0 {
+		t.Fatalf("fleet status = %+v", st)
+	}
+	if st.Comparison.Checked != 1 || st.Comparison.Discrepancies != 0 {
+		t.Fatalf("comparison stats = %+v", st.Comparison)
+	}
+	if len(st.Controller.Nodes) != 1 || st.Controller.Nodes[0].Node != NodeName {
+		t.Fatalf("controller view = %+v", st.Controller)
 	}
 }

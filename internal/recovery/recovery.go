@@ -148,8 +148,11 @@ type Manager struct {
 	// dead brick is the cheapest explanation for widespread session
 	// failures, and restarting it is as cheap as an EJB µRB.
 	Bricks BrickStore
-	// OnRecoveryStart/End let the load balancer be notified for
-	// failover, as the paper's RM notifies LB.
+	// OnRecoveryStart/End announce the recovery lifecycle. The manager
+	// never touches the load balancer itself: hosts bind these to the
+	// control-plane bus (controlplane.BindRecoveryLifecycle), where the
+	// fleet controller turns them into LB drain/restore — the paper's
+	// "RM notifies LB" failover, as an observe–decide–act hop.
 	OnRecoveryStart func()
 	OnRecoveryEnd   func()
 	// NotifyHuman fires when the policy is exhausted or failures recur
