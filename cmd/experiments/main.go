@@ -1,10 +1,14 @@
 // Command experiments regenerates every table and figure of the
 // microreboot paper's evaluation and prints them in paper-style form,
-// with the paper's own numbers alongside for comparison.
+// with the paper's own numbers alongside for comparison. It is also the
+// scenario-campaign runner: -scenario interprets declarative chaos
+// specs, -matrix runs the builtin fault × store × routing campaign.
 //
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-only table2,figure1,...] [-cluster-store fasts|ssm-cluster]
+//	experiments -list
+//	experiments [-quick] -scenario <file.toml|dir> [-matrix] [-matrix-out FILE]
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -23,6 +28,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	clusterStore := flag.String("cluster-store", "fasts",
 		"session store shared by the cluster experiments (figures 3/4, section61): fasts or ssm-cluster")
+	list := flag.Bool("list", false, "list experiment ids and discovered scenario specs, then exit")
+	scenarioPath := flag.String("scenario", "", "run scenario spec(s): a .toml file or a directory of them")
+	matrix := flag.Bool("matrix", false, "also run the builtin fault × store × routing scenario matrix")
+	matrixOut := flag.String("matrix-out", "", "write the campaign pass/fail matrix as JSON to this file")
 	flag.Parse()
 	switch *clusterStore {
 	case "fasts", "ssm", "ssm-cluster":
@@ -31,7 +40,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := experiments.Options{Quick: *quick, Seed: *seed, ClusterStore: *clusterStore}
+	// An explicitly passed -seed pins the seed even when it is zero;
+	// otherwise the harness default (42) applies.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+
+	o := experiments.Options{Quick: *quick, Seed: *seed, SeedSet: seedSet, ClusterStore: *clusterStore}
+
+	if *list {
+		listAll()
+		return
+	}
+	if *scenarioPath != "" || *matrix {
+		os.Exit(runScenarios(o, *scenarioPath, *matrix, *matrixOut))
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -137,4 +163,83 @@ func section(title string) {
 	fmt.Println(strings.Repeat("=", 78))
 	fmt.Println("  " + title)
 	fmt.Println(strings.Repeat("=", 78))
+}
+
+// listAll prints every -only id and every scenario spec discovered under
+// ./scenarios, each with its one-line description.
+func listAll() {
+	fmt.Println("experiments (-only):")
+	for _, e := range experiments.Catalog() {
+		fmt.Printf("  %-12s %s\n", e.ID, e.Description)
+	}
+	specs, err := scenario.LoadDir("scenarios")
+	if err != nil {
+		fmt.Printf("\nscenarios: none discovered (%v)\n", err)
+		return
+	}
+	fmt.Println("\nscenarios (-scenario scenarios/<name>.toml, or -scenario scenarios for all):")
+	for _, s := range specs {
+		name := s.Name
+		if s.ExpectFail {
+			name += " (negative control)"
+		}
+		fmt.Printf("  %-22s %s\n", name, s.Description)
+	}
+	fmt.Println("\nbuiltin matrix (-matrix):")
+	for _, s := range scenario.MatrixSpecs() {
+		fmt.Printf("  %-40s %s\n", s.Name, s.Description)
+	}
+}
+
+// runScenarios runs the requested scenario campaign and returns the
+// process exit code.
+func runScenarios(o experiments.Options, path string, matrix bool, out string) int {
+	var specs []*scenario.Spec
+	if path != "" {
+		st, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if st.IsDir() {
+			specs, err = scenario.LoadDir(path)
+		} else {
+			var s *scenario.Spec
+			s, err = scenario.LoadFile(path)
+			specs = []*scenario.Spec{s}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if matrix {
+		specs = append(specs, scenario.MatrixSpecs()...)
+	}
+	section("Scenario campaign")
+	c, err := scenario.RunCampaign(specs, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, r := range c.Results {
+		fmt.Println(r.Outcome)
+	}
+	fmt.Println()
+	fmt.Print(c.Table())
+	if out != "" {
+		blob, err := c.JSON()
+		if err == nil {
+			err = os.WriteFile(out, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matrix-out:", err)
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "wrote", out)
+	}
+	if !c.Passed() {
+		return 1
+	}
+	return 0
 }

@@ -267,6 +267,17 @@ func TestRecoveryControllerBridgesSignals(t *testing.T) {
 	rc.OnSignal(Signal{Kind: SignalFailure, Op: "MakeBid", FailureKind: "http-error"})
 	rc.OnSignal(Signal{Kind: SignalBrickDead, Brick: "ssm/s0-r1"})
 	rc.OnSignal(Signal{Kind: SignalLatency, Latency: time.Millisecond, OK: true})
+	// OnSignal only observes: the sink must see nothing until the act
+	// closure from Tick runs — a Report can synchronously trigger a
+	// recovery that re-enters the plane, so it must run lock-free.
+	if len(fs.reports) != 0 || len(fs.bricks) != 0 {
+		t.Fatalf("sink fed before tick: reports=%+v bricks=%v", fs.reports, fs.bricks)
+	}
+	act := rc.Tick(time.Second)
+	if act == nil {
+		t.Fatal("Tick returned no act closure with pending evidence")
+	}
+	act()
 	if len(fs.reports) != 1 || fs.reports[0] != (recovery.Report{Op: "MakeBid", Kind: "http-error"}) {
 		t.Fatalf("reports = %+v", fs.reports)
 	}
@@ -276,6 +287,10 @@ func TestRecoveryControllerBridgesSignals(t *testing.T) {
 	st := rc.Status().(RecoveryStatus)
 	if st.FailureReports != 1 || st.BrickFailures != 1 {
 		t.Fatalf("status = %+v", st)
+	}
+	// The buffer drained: a quiet tick has nothing to act on.
+	if rc.Tick(time.Second) != nil {
+		t.Fatal("Tick re-delivered drained evidence")
 	}
 }
 
@@ -615,6 +630,9 @@ func TestRecoveryControllerBridgesDiscrepancies(t *testing.T) {
 	fs := &fakeSink{}
 	rc := NewRecoveryController(fs)
 	rc.OnSignal(Signal{Kind: SignalDiscrepancy, Op: "ViewItem", Detail: "body differs"})
+	if act := rc.Tick(time.Second); act != nil {
+		act()
+	}
 	if len(fs.reports) != 1 || fs.reports[0] != (recovery.Report{Op: "ViewItem", Kind: "comparison-mismatch"}) {
 		t.Fatalf("reports = %+v", fs.reports)
 	}

@@ -26,6 +26,14 @@ type RecoveryController struct {
 	sink FailureSink
 
 	failures, brickFailures, discrepancies int64
+
+	// pending buffers evidence between ticks. OnSignal runs under the
+	// plane lock and must only observe; Report can synchronously trigger
+	// a recovery whose killed in-flight requests re-enter the plane
+	// (their failure monitors publish), so delivery into the sink is the
+	// act half and runs after the lock is released.
+	pending       []recovery.Report
+	pendingBricks []string
 }
 
 // NewRecoveryController builds the bridge into the given sink.
@@ -36,24 +44,40 @@ func NewRecoveryController(sink FailureSink) *RecoveryController {
 // Name implements Controller.
 func (r *RecoveryController) Name() string { return "recovery" }
 
-// OnSignal implements Controller.
+// OnSignal implements Controller: evidence is buffered, never acted on.
 func (r *RecoveryController) OnSignal(s Signal) {
 	switch s.Kind {
 	case SignalFailure:
 		r.failures++
-		r.sink.Report(recovery.Report{Op: s.Op, Kind: s.FailureKind})
+		r.pending = append(r.pending, recovery.Report{Op: s.Op, Kind: s.FailureKind})
 	case SignalBrickDead:
 		r.brickFailures++
-		r.sink.ReportBrickFailure(s.Brick)
+		r.pendingBricks = append(r.pendingBricks, s.Brick)
 	case SignalDiscrepancy:
 		r.discrepancies++
-		r.sink.Report(recovery.Report{Op: s.Op, Kind: "comparison-mismatch"})
+		r.pending = append(r.pending, recovery.Report{Op: s.Op, Kind: "comparison-mismatch"})
 	}
 }
 
-// Tick implements Controller: the manager runs its own timeline (grace
-// windows, detection delays) on its kernel; nothing periodic here.
-func (r *RecoveryController) Tick(time.Duration) func() { return nil }
+// Tick implements Controller: buffered evidence drains into the manager
+// in the act phase. The manager runs its own timeline (grace windows,
+// detection delays) on its kernel; detection latency gains at most one
+// plane tick.
+func (r *RecoveryController) Tick(time.Duration) func() {
+	if len(r.pending) == 0 && len(r.pendingBricks) == 0 {
+		return nil
+	}
+	reports, bricks := r.pending, r.pendingBricks
+	r.pending, r.pendingBricks = nil, nil
+	return func() {
+		for _, rep := range reports {
+			r.sink.Report(rep)
+		}
+		for _, b := range bricks {
+			r.sink.ReportBrickFailure(b)
+		}
+	}
+}
 
 // RecoveryStatus is the controller's operator snapshot.
 type RecoveryStatus struct {

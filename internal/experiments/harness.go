@@ -28,7 +28,11 @@ import (
 // the full suite runs in seconds (used by tests and benchmarks).
 type Options struct {
 	Quick bool
-	Seed  int64
+	// Seed selects the simulation seed. For backward compatibility a zero
+	// Seed with SeedSet false means "use the documented default of 42";
+	// set SeedSet to pin seed 0 explicitly (scenario specs and -seed do).
+	Seed    int64
+	SeedSet bool
 	// ClusterStore selects the session store the multi-node cluster
 	// experiments (Figures 3/4, Section 6.1) share across nodes: "fasts"
 	// (default, node-local state — the paper's main configuration) or
@@ -53,11 +57,19 @@ func (o Options) clusterKind() storeKind {
 }
 
 func (o Options) seed() int64 {
+	if o.SeedSet {
+		return o.Seed
+	}
 	if o.Seed == 0 {
 		return 42
 	}
 	return o.Seed
 }
+
+// SeedValue reports the seed the experiment kernels will actually use
+// (the documented default 42 unless a seed was given — zero counts as
+// given only when SeedSet is true).
+func (o Options) SeedValue() int64 { return o.seed() }
 
 // scale shortens a duration in quick mode.
 func (o Options) scale(d time.Duration) time.Duration {
@@ -73,6 +85,13 @@ func (o Options) clients(n int) int {
 	}
 	return n
 }
+
+// Scaled exposes the quick-mode duration scaling to external drivers
+// (the scenario engine shortens spec timelines exactly like figures).
+func (o Options) Scaled(d time.Duration) time.Duration { return o.scale(d) }
+
+// ScaledClients exposes the quick-mode population scaling.
+func (o Options) ScaledClients(n int) int { return o.clients(n) }
 
 // env is a single-node experiment environment.
 type env struct {

@@ -1,0 +1,234 @@
+// Package scenario interprets declarative chaos-campaign specs — TOML
+// files describing a cluster, a client load shape, scheduled faults and
+// ring events, control-plane knobs, and invariant assertions — onto the
+// simulation substrate via the exported experiments harness, and checks
+// the paper's invariants (zero lost sessions, bounded p99, no human
+// pages, goodput floors) against the outcome.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The spec format is a strict subset of TOML, parsed by hand because the
+// module carries no dependencies: comments, [table] and [[array-of-table]]
+// headers (single-segment bare keys only), and key = value lines where a
+// value is a basic "quoted" string, an integer, a float, or a boolean.
+// Durations are strings in Go syntax ("90s", "2m30s"). Every key and
+// header remembers its line so binding errors point at the offending
+// spec line, and unknown keys/tables are hard errors — a typoed
+// "sched_watermark" must not silently weaken a campaign.
+
+// value is one parsed scalar with its source line.
+type value struct {
+	line int
+	v    any // string, int64, float64 or bool
+}
+
+// table is one [header] (or the implicit top-level table): an unordered
+// key set whose entries are deleted as the binder consumes them, so
+// whatever remains afterwards is by construction unknown.
+type table struct {
+	file string
+	name string // "" for top level
+	line int
+	keys map[string]value
+}
+
+// doc is a parsed spec file.
+type doc struct {
+	file   string
+	top    *table
+	tables map[string]*table   // [name]
+	arrays map[string][]*table // [[name]]
+}
+
+func (d *doc) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", d.file, line, fmt.Sprintf(format, args...))
+}
+
+// parseTOML parses src as the strict subset described above.
+func parseTOML(file, src string) (*doc, error) {
+	d := &doc{
+		file:   file,
+		top:    &table{file: file, keys: map[string]value{}},
+		tables: map[string]*table{},
+		arrays: map[string][]*table{},
+	}
+	cur := d.top
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := strings.TrimSpace(stripComment(raw))
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, "[["):
+			if !strings.HasSuffix(s, "]]") {
+				return nil, d.errf(line, "malformed array-of-tables header %q", s)
+			}
+			name := strings.TrimSpace(s[2 : len(s)-2])
+			if !bareKey(name) {
+				return nil, d.errf(line, "invalid table name %q (single bare key expected)", name)
+			}
+			if _, dup := d.tables[name]; dup {
+				return nil, d.errf(line, "[[%s]] conflicts with earlier [%s]", name, name)
+			}
+			cur = &table{file: file, name: name, line: line, keys: map[string]value{}}
+			d.arrays[name] = append(d.arrays[name], cur)
+		case strings.HasPrefix(s, "["):
+			if !strings.HasSuffix(s, "]") {
+				return nil, d.errf(line, "malformed table header %q", s)
+			}
+			name := strings.TrimSpace(s[1 : len(s)-1])
+			if !bareKey(name) {
+				return nil, d.errf(line, "invalid table name %q (single bare key expected)", name)
+			}
+			if _, dup := d.tables[name]; dup {
+				return nil, d.errf(line, "duplicate table [%s]", name)
+			}
+			if _, dup := d.arrays[name]; dup {
+				return nil, d.errf(line, "[%s] conflicts with earlier [[%s]]", name, name)
+			}
+			cur = &table{file: file, name: name, line: line, keys: map[string]value{}}
+			d.tables[name] = cur
+		default:
+			eq := strings.Index(s, "=")
+			if eq < 0 {
+				return nil, d.errf(line, "expected key = value, got %q", s)
+			}
+			key := strings.TrimSpace(s[:eq])
+			if !bareKey(key) {
+				return nil, d.errf(line, "invalid key %q", key)
+			}
+			if _, dup := cur.keys[key]; dup {
+				return nil, d.errf(line, "duplicate key %q", key)
+			}
+			v, err := parseValue(strings.TrimSpace(s[eq+1:]))
+			if err != nil {
+				return nil, d.errf(line, "key %q: %v", key, err)
+			}
+			cur.keys[key] = value{line: line, v: v}
+		}
+	}
+	return d, nil
+}
+
+// stripComment drops a trailing # comment, honoring quoted strings.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inStr {
+				i++ // skip escaped char
+			}
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func bareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseValue(s string) (any, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("missing value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		return unquote(s)
+	}
+	if strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x") {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f, nil
+		}
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	return nil, fmt.Errorf("unsupported value %q (want \"string\", integer, float, true or false)", s)
+}
+
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("unterminated string %s", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '"' {
+			return "", fmt.Errorf("unescaped quote inside string %s", s)
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in string %s", s)
+		}
+		switch body[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		default:
+			return "", fmt.Errorf("unsupported escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// quote renders s as a TOML basic string (inverse of unquote).
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
