@@ -12,14 +12,17 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/ebid"
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -32,6 +35,7 @@ var benchOpts = experiments.Options{Quick: true, Seed: 42}
 
 // BenchmarkTable1_WorkloadMix regenerates the client workload mix table.
 func BenchmarkTable1_WorkloadMix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table1(benchOpts)
 		b.ReportMetric(float64(r.Total)/float64(b.N), "requests")
@@ -41,6 +45,7 @@ func BenchmarkTable1_WorkloadMix(b *testing.B) {
 // BenchmarkTable2_FaultRecoveryMatrix regenerates the worst-case recovery
 // matrix: all 26 fault rows, each driven through the recursive policy.
 func BenchmarkTable2_FaultRecoveryMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table2(benchOpts)
 		match := 0
@@ -56,6 +61,7 @@ func BenchmarkTable2_FaultRecoveryMatrix(b *testing.B) {
 // BenchmarkTable3_RecoveryTimes measures per-component µRB times under
 // load (10 trials per component).
 func BenchmarkTable3_RecoveryTimes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table3(benchOpts)
 		var ejbTotal time.Duration
@@ -75,6 +81,7 @@ func BenchmarkTable3_RecoveryTimes(b *testing.B) {
 // BenchmarkFigure1_TawTimeline runs the 3-fault Taw comparison and
 // reports the failed-request ratio (paper: ~50x).
 func BenchmarkFigure1_TawTimeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure1(benchOpts)
 		if r.MicroFailedReqs > 0 {
@@ -87,6 +94,7 @@ func BenchmarkFigure1_TawTimeline(b *testing.B) {
 // BenchmarkFigure2_FunctionalDisruption measures per-group disruption
 // around one recovery event.
 func BenchmarkFigure2_FunctionalDisruption(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure2(benchOpts)
 		b.ReportMetric(r.RestartTotalDown.Seconds(), "restart-total-outage-s")
@@ -97,6 +105,7 @@ func BenchmarkFigure2_FunctionalDisruption(b *testing.B) {
 // BenchmarkFigure3_FailoverNormalLoad runs the cluster failover
 // experiment across cluster sizes.
 func BenchmarkFigure3_FailoverNormalLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure3(benchOpts)
 		if len(r.Rows) > 0 {
@@ -109,6 +118,7 @@ func BenchmarkFigure3_FailoverNormalLoad(b *testing.B) {
 // BenchmarkFigure4_FailoverDoubledLoad runs the doubled-load failover
 // experiment (response-time series).
 func BenchmarkFigure4_FailoverDoubledLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure4(benchOpts)
 		if len(r.Rows) > 0 {
@@ -121,6 +131,7 @@ func BenchmarkFigure4_FailoverDoubledLoad(b *testing.B) {
 // BenchmarkTable4_Over8s counts requests exceeding the 8-second
 // abandonment threshold during doubled-load failover.
 func BenchmarkTable4_Over8s(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table4(benchOpts)
 		if len(r.Rows) > 0 {
@@ -133,6 +144,7 @@ func BenchmarkTable4_Over8s(b *testing.B) {
 // BenchmarkTable5_PerformanceImpact measures fault-free throughput and
 // latency across the four configurations.
 func BenchmarkTable5_PerformanceImpact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table5(benchOpts)
 		b.ReportMetric(r.Rows[1].Throughput, "µRB+FastS-req/s")
@@ -144,6 +156,7 @@ func BenchmarkTable5_PerformanceImpact(b *testing.B) {
 // BenchmarkTable6_RetryMasking measures HTTP/1.1 Retry-After masking of
 // microreboots.
 func BenchmarkTable6_RetryMasking(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Table6(benchOpts)
 		var noRetry, retry float64
@@ -158,6 +171,7 @@ func BenchmarkTable6_RetryMasking(b *testing.B) {
 
 // BenchmarkFigure5_DetectionTime sweeps the failure-detection delay.
 func BenchmarkFigure5_DetectionTime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure5Left(benchOpts)
 		b.ReportMetric(r.CrossoverTdet.Seconds(), "crossover-Tdet-s")
@@ -167,6 +181,7 @@ func BenchmarkFigure5_DetectionTime(b *testing.B) {
 // BenchmarkFigure5_FalsePositives computes the false-positive tolerance
 // curve from measured per-recovery costs.
 func BenchmarkFigure5_FalsePositives(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure5Right(78, 3917)
 		b.ReportMetric(r.ToleratedFPRate*100, "tolerated-FP-%")
@@ -176,6 +191,7 @@ func BenchmarkFigure5_FalsePositives(b *testing.B) {
 // BenchmarkFigure6_Microrejuvenation runs the leak + rejuvenation
 // experiment in both modes.
 func BenchmarkFigure6_Microrejuvenation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure6(benchOpts)
 		b.ReportMetric(float64(r.MicroFailed), "µRB-rejuv-failed")
@@ -186,6 +202,7 @@ func BenchmarkFigure6_Microrejuvenation(b *testing.B) {
 // BenchmarkSection61_FailoverSchemes compares failover schemes and the
 // six-nines budgets.
 func BenchmarkSection61_FailoverSchemes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fig1 := &experiments.Figure1Result{MicroAvgPerRecovery: 78, RestartAvgPerRecovery: 3917}
 		fig3 := experiments.Figure3(benchOpts)
@@ -199,6 +216,7 @@ func BenchmarkSection61_FailoverSchemes(b *testing.B) {
 // delay — the tradeoff the paper measured at one point (200 ms) but left
 // unanalyzed.
 func BenchmarkAblation_SentinelDelay(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.AblationDelay(benchOpts, "")
 		b.ReportMetric(float64(r.BestDelay.Milliseconds()), "best-delay-ms")
@@ -467,10 +485,138 @@ func BenchmarkLBRouteAffinity(b *testing.B) {
 	}
 }
 
+// ----------------------------------------------------- invoke hot path
+
+// benchApp builds a loaded eBid app with one authenticated session for
+// the end-to-end invoke benchmarks.
+func benchApp(b *testing.B) *ebid.App {
+	b.Helper()
+	d := db.New(nil)
+	ds := ebid.DatasetConfig{Users: 50, Items: 100, BidsPerItem: 2, Categories: 5, Regions: 5, OldItems: 10}
+	if err := ebid.LoadDataset(d, ds); err != nil {
+		b.Fatal(err)
+	}
+	app, err := ebid.New(d, session.NewFastS(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth := &core.Call{Op: ebid.Authenticate, SessionID: "bench-sess", Args: core.ArgMap{"user": int64(1)}}
+	if _, err := app.Execute(context.Background(), auth); err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+// BenchmarkInvokeOpsPerSec measures the end-to-end invocation pipeline —
+// WAR dispatch, interceptors, shepherd tracking, session/entity hops —
+// at steady state, with no faults injected. This is the Table 5 question
+// asked of the implementation itself: what does the microreboot plumbing
+// cost per request?
+func BenchmarkInvokeOpsPerSec(b *testing.B) {
+	app := benchApp(b)
+	ctx := context.Background()
+	b.Run("ViewItem", func(b *testing.B) {
+		args := &ebid.OpArgs{Item: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			call := core.NewCall(ebid.ViewItem, "", args, 0)
+			if _, err := app.Execute(ctx, call); err != nil {
+				b.Fatal(err)
+			}
+			call.Release()
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+	b.Run("AboutMe", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			call := core.NewCall(ebid.AboutMe, "bench-sess", nil, 0)
+			if _, err := app.Execute(ctx, call); err != nil {
+				b.Fatal(err)
+			}
+			call.Release()
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+	b.Run("ViewItemParallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			args := &ebid.OpArgs{Item: 1}
+			for pb.Next() {
+				call := core.NewCall(ebid.ViewItem, "", args, 0)
+				if _, err := app.Execute(ctx, call); err != nil {
+					b.Error(err)
+					return
+				}
+				call.Release()
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+}
+
+// BenchmarkStoreTxCommit measures transaction commit latency against a
+// mirrored WAL sink — the path group commit batches.
+func BenchmarkStoreTxCommit(b *testing.B) {
+	newBenchDB := func(b *testing.B) *db.DB {
+		d := db.New(db.NewWALWithSink(io.Discard))
+		err := d.CreateTable(db.Schema{Name: "t", Columns: []db.Column{{Name: "v", Type: db.Int}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	b.Run("Sequential", func(b *testing.B) {
+		d := newBenchDB(b)
+		row := db.Row{"v": int64(1)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx, err := d.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Insert("t", row); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		d := newBenchDB(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			row := db.Row{"v": int64(1)}
+			for pb.Next() {
+				tx, err := d.Begin()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := tx.Insert("t", row); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkFigureFleet_Routing regenerates the fleet routing comparison
 // (round-robin collapse vs shedding + least-loaded) and reports the p99
 // gap as the domain metric.
 func BenchmarkFigureFleet_Routing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.FigureFleet(benchOpts)
 		b.ReportMetric(float64(r.RoundRobin.P99.Milliseconds()), "rr-p99-ms")

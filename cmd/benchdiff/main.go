@@ -1,16 +1,19 @@
 // Command benchdiff compares two benchmark runs captured as test2json
 // event streams (the BENCH_PR.json artifacts CI uploads per run) and
-// flags per-benchmark ns/op movements beyond a threshold — the trend
-// tracker that turns the per-commit artifacts into an actual perf gate.
+// flags per-benchmark ns/op and allocs/op movements beyond a threshold —
+// the trend tracker that turns the per-commit artifacts into an actual
+// perf gate.
 //
 // Usage:
 //
-//	benchdiff -old baseline/BENCH_PR.json -new BENCH_PR.json [-threshold 20] [-fail]
+//	benchdiff -old baseline/BENCH_PR.json -new BENCH_PR.json [-threshold 20] [-alloc-threshold 10] [-fail]
 //
 // Output is one line per benchmark movement, plus GitHub workflow
 // annotations (::error:: for regressions, ::notice:: for improvements)
 // so the movements surface on the run page. With -fail, any regression
-// beyond the threshold exits non-zero.
+// beyond the thresholds exits non-zero. When both runs carry -benchmem
+// columns, a benchmark that was allocation-free and now allocates is
+// always a regression, regardless of percentage.
 package main
 
 import (
@@ -33,16 +36,54 @@ type event struct {
 	Output  string `json:"Output"`
 }
 
-// benchLine matches a benchmark result line inside an output event, e.g.
-// "BenchmarkStoreRead/SSMCluster-4   9246   129797 ns/op  2 extra".
-// The -N GOMAXPROCS suffix is stripped so runs from different machines
-// stay comparable.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// result is one benchmark's parsed metrics. bytes/allocs are only
+// meaningful when hasMem is set (the run used -benchmem).
+type result struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
 
-// parseBench extracts benchmark → ns/op from a test2json stream. A
+// test2json frequently splits a benchmark line across two output events:
+// first the bare name ("BenchmarkX/Sub-4"), then the counters
+// ("  524792\t 1027 ns/op\t 12 B/op\t 1 allocs/op"). benchFull matches the
+// single-line form, benchName/benchCounters the split form, which
+// parseBench stitches back together per package. The -N GOMAXPROCS
+// suffix is stripped so runs from different machines stay comparable.
+var (
+	benchFull     = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	benchName     = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s*$`)
+	benchCounters = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op(.*)$`)
+	memBytes      = regexp.MustCompile(`([0-9.]+) B/op`)
+	memAllocs     = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseResult builds a result from the ns/op figure and the rest of the
+// counter line (which holds the -benchmem columns when present).
+func parseResult(nsText, rest string) (result, bool) {
+	ns, err := strconv.ParseFloat(nsText, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{ns: ns}
+	bm := memBytes.FindStringSubmatch(rest)
+	am := memAllocs.FindStringSubmatch(rest)
+	if bm != nil && am != nil {
+		r.bytes, _ = strconv.ParseFloat(bm[1], 64)
+		r.allocs, _ = strconv.ParseFloat(am[1], 64)
+		r.hasMem = true
+	}
+	return r, true
+}
+
+// parseBench extracts benchmark → result from a test2json stream. A
 // benchmark that appears more than once (reruns) keeps its last value.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	// pending holds the bench name seen on a name-only line, per package,
+	// awaiting its counters line.
+	pending := map[string]string{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -58,15 +99,29 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if ev.Action != "output" {
 			continue
 		}
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(ev.Output))
-		if m == nil {
+		text := strings.TrimSpace(ev.Output)
+		if m := benchFull.FindStringSubmatch(text); m != nil {
+			if res, ok := parseResult(m[3], m[4]); ok {
+				out[ev.Package+"."+m[1]] = res
+			}
+			delete(pending, ev.Package)
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
+		if m := benchName.FindStringSubmatch(text); m != nil {
+			pending[ev.Package] = m[1]
 			continue
 		}
-		out[ev.Package+"."+m[1]] = ns
+		if m := benchCounters.FindStringSubmatch(text); m != nil {
+			name, ok := pending[ev.Package]
+			if !ok {
+				continue
+			}
+			if res, ok := parseResult(m[1], m[2]); ok {
+				out[ev.Package+"."+name] = res
+			}
+			delete(pending, ev.Package)
+			continue
+		}
 	}
 	return out, sc.Err()
 }
@@ -74,25 +129,45 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 // movement is one benchmark's old→new comparison.
 type movement struct {
 	name     string
-	oldNs    float64
-	newNs    float64
-	deltaPct float64
+	oldR     result
+	newR     result
+	deltaPct float64 // ns/op movement
+	allocPct float64 // allocs/op movement; meaningful when hasMem
+	// hasMem reports that both runs carried -benchmem columns, so the
+	// alloc comparison is valid.
+	hasMem bool
+}
+
+// allocRegressed reports whether the allocation movement alone counts as
+// a regression: newly allocating on a previously allocation-free
+// benchmark (any amount), or allocs/op up by more than threshold percent.
+func (m movement) allocRegressed(threshold float64) bool {
+	if !m.hasMem {
+		return false
+	}
+	if m.oldR.allocs == 0 {
+		return m.newR.allocs > 0
+	}
+	return m.allocPct > threshold
 }
 
 // diff compares two parsed runs and returns the movements for
 // benchmarks present in both, sorted worst-regression first.
-func diff(oldRun, newRun map[string]float64) (moves []movement, onlyOld, onlyNew []string) {
-	for name, oldNs := range oldRun {
-		newNs, ok := newRun[name]
+func diff(oldRun, newRun map[string]result) (moves []movement, onlyOld, onlyNew []string) {
+	for name, oldR := range oldRun {
+		newR, ok := newRun[name]
 		if !ok {
 			onlyOld = append(onlyOld, name)
 			continue
 		}
-		deltaPct := 0.0
-		if oldNs > 0 {
-			deltaPct = (newNs - oldNs) / oldNs * 100
+		m := movement{name: name, oldR: oldR, newR: newR, hasMem: oldR.hasMem && newR.hasMem}
+		if oldR.ns > 0 {
+			m.deltaPct = (newR.ns - oldR.ns) / oldR.ns * 100
 		}
-		moves = append(moves, movement{name: name, oldNs: oldNs, newNs: newNs, deltaPct: deltaPct})
+		if m.hasMem && oldR.allocs > 0 {
+			m.allocPct = (newR.allocs - oldR.allocs) / oldR.allocs * 100
+		}
+		moves = append(moves, m)
 	}
 	for name := range newRun {
 		if _, ok := oldRun[name]; !ok {
@@ -110,7 +185,7 @@ func diff(oldRun, newRun map[string]float64) (moves []movement, onlyOld, onlyNew
 	return moves, onlyOld, onlyNew
 }
 
-func parseFile(path string) (map[string]float64, error) {
+func parseFile(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -119,11 +194,22 @@ func parseFile(path string) (map[string]float64, error) {
 	return parseBench(f)
 }
 
+// describe renders one movement, appending the alloc column when both
+// runs have it.
+func describe(m movement) string {
+	s := fmt.Sprintf("%s %.0f → %.0f ns/op (%+.1f%%)", m.name, m.oldR.ns, m.newR.ns, m.deltaPct)
+	if m.hasMem {
+		s += fmt.Sprintf(", %.0f → %.0f allocs/op", m.oldR.allocs, m.newR.allocs)
+	}
+	return s
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline test2json bench stream")
 	newPath := flag.String("new", "", "current test2json bench stream")
 	threshold := flag.Float64("threshold", 20, "percent ns/op movement that counts as a regression/improvement")
-	fail := flag.Bool("fail", false, "exit non-zero when any regression exceeds the threshold")
+	allocThreshold := flag.Float64("alloc-threshold", 10, "percent allocs/op growth that counts as a regression (requires -benchmem in both runs)")
+	fail := flag.Bool("fail", false, "exit non-zero when any regression exceeds the thresholds")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
@@ -151,14 +237,14 @@ func main() {
 		switch {
 		case m.deltaPct > *threshold:
 			regressions++
-			fmt.Printf("::error::bench regression: %s %.0f → %.0f ns/op (%+.1f%%)\n",
-				m.name, m.oldNs, m.newNs, m.deltaPct)
+			fmt.Printf("::error::bench regression: %s\n", describe(m))
+		case m.allocRegressed(*allocThreshold):
+			regressions++
+			fmt.Printf("::error::bench alloc regression: %s\n", describe(m))
 		case m.deltaPct < -*threshold:
-			fmt.Printf("::notice::bench improvement: %s %.0f → %.0f ns/op (%+.1f%%)\n",
-				m.name, m.oldNs, m.newNs, m.deltaPct)
+			fmt.Printf("::notice::bench improvement: %s\n", describe(m))
 		default:
-			fmt.Printf("bench ok: %s %.0f → %.0f ns/op (%+.1f%%)\n",
-				m.name, m.oldNs, m.newNs, m.deltaPct)
+			fmt.Printf("bench ok: %s\n", describe(m))
 		}
 	}
 	for _, name := range onlyOld {
@@ -167,8 +253,8 @@ func main() {
 	for _, name := range onlyNew {
 		fmt.Printf("bench added: %s\n", name)
 	}
-	fmt.Printf("benchdiff: %d compared, %d regressions beyond %.0f%% (%d removed, %d added)\n",
-		len(moves), regressions, *threshold, len(onlyOld), len(onlyNew))
+	fmt.Printf("benchdiff: %d compared, %d regressions beyond %.0f%% ns / %.0f%% allocs (%d removed, %d added)\n",
+		len(moves), regressions, *threshold, *allocThreshold, len(onlyOld), len(onlyNew))
 	if *fail && regressions > 0 {
 		os.Exit(1)
 	}

@@ -28,14 +28,57 @@ func TestParseBenchExtractsResults(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
 	}
-	if got["repro.BenchmarkStoreRead/FastS"] != 2100 {
+	if got["repro.BenchmarkStoreRead/FastS"].ns != 2100 {
 		t.Fatalf("FastS = %v", got["repro.BenchmarkStoreRead/FastS"])
+	}
+	if got["repro.BenchmarkStoreRead/FastS"].hasMem {
+		t.Fatal("no -benchmem columns, but hasMem is set")
 	}
 	// The -N GOMAXPROCS suffix must not leak into the key.
 	for name := range got {
 		if strings.HasSuffix(name, "-4") {
 			t.Fatalf("key kept its GOMAXPROCS suffix: %s", name)
 		}
+	}
+}
+
+// test2json often emits the bench name and its counters as two separate
+// output events; the parser must stitch them back together per package.
+const splitStream = `
+{"Action":"output","Package":"repro","Output":"BenchmarkInvoke/ViewItem-4         \t"}
+{"Action":"output","Package":"repro","Output":"  524792\t      1027 ns/op\t     120 B/op\t       4 allocs/op\n"}
+{"Action":"output","Package":"repro/other","Output":"BenchmarkRoute-4 \t"}
+{"Action":"output","Package":"repro","Output":"BenchmarkInvoke/AboutMe-4 \t"}
+{"Action":"output","Package":"repro/other","Output":"  100\t 42 ns/op\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"  1000\t 2000 ns/op\t 512 B/op\t 8 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"=== RUN   TestSomething\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkSingleLine-4 \t 100 \t 10 ns/op \t 16 B/op \t 2 allocs/op\n"}
+`
+
+func TestParseBenchStitchesSplitLines(t *testing.T) {
+	got, err := parseBench(strings.NewReader(splitStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	vi := got["repro.BenchmarkInvoke/ViewItem"]
+	if vi.ns != 1027 || !vi.hasMem || vi.allocs != 4 || vi.bytes != 120 {
+		t.Fatalf("ViewItem = %+v", vi)
+	}
+	// Interleaved packages must not cross-stitch.
+	rt := got["repro/other.BenchmarkRoute"]
+	if rt.ns != 42 || rt.allocs != 0 || !rt.hasMem {
+		t.Fatalf("Route = %+v", rt)
+	}
+	am := got["repro.BenchmarkInvoke/AboutMe"]
+	if am.ns != 2000 || am.allocs != 8 {
+		t.Fatalf("AboutMe = %+v", am)
+	}
+	sl := got["repro.BenchmarkSingleLine"]
+	if sl.ns != 10 || !sl.hasMem || sl.allocs != 2 {
+		t.Fatalf("SingleLine = %+v", sl)
 	}
 }
 
@@ -62,12 +105,56 @@ func TestDiffFlagsRegressionsAndChurn(t *testing.T) {
 	}
 }
 
+func TestDiffAllocRegressions(t *testing.T) {
+	oldRun := map[string]result{
+		"p.BenchZeroToSome": {ns: 100, allocs: 0, hasMem: true},
+		"p.BenchGrew":       {ns: 100, allocs: 10, hasMem: true},
+		"p.BenchSteady":     {ns: 100, allocs: 10, hasMem: true},
+		"p.BenchNoMem":      {ns: 100},
+	}
+	newRun := map[string]result{
+		"p.BenchZeroToSome": {ns: 100, allocs: 1, hasMem: true},
+		"p.BenchGrew":       {ns: 100, allocs: 12, hasMem: true},
+		"p.BenchSteady":     {ns: 100, allocs: 10, hasMem: true},
+		"p.BenchNoMem":      {ns: 100},
+	}
+	moves, _, _ := diff(oldRun, newRun)
+	byName := map[string]movement{}
+	for _, m := range moves {
+		byName[m.name] = m
+	}
+	// 0 → 1 allocs is a regression no matter the threshold.
+	if !byName["p.BenchZeroToSome"].allocRegressed(10) {
+		t.Fatal("0→1 allocs/op not flagged")
+	}
+	if !byName["p.BenchZeroToSome"].allocRegressed(1000) {
+		t.Fatal("0→1 allocs/op must ignore the percentage threshold")
+	}
+	// 10 → 12 is +20%: past a 10% threshold, inside a 30% one.
+	if !byName["p.BenchGrew"].allocRegressed(10) {
+		t.Fatal("+20% allocs/op not flagged at threshold 10")
+	}
+	if byName["p.BenchGrew"].allocRegressed(30) {
+		t.Fatal("+20% allocs/op flagged at threshold 30")
+	}
+	if byName["p.BenchSteady"].allocRegressed(10) {
+		t.Fatal("steady allocs flagged")
+	}
+	// Without -benchmem in both runs there is no alloc verdict.
+	if byName["p.BenchNoMem"].allocRegressed(0) {
+		t.Fatal("mem-less benchmark flagged")
+	}
+}
+
 func TestDiffIdenticalRunsAreQuiet(t *testing.T) {
 	run, _ := parseBench(strings.NewReader(oldStream))
 	moves, onlyOld, onlyNew := diff(run, run)
 	for _, m := range moves {
 		if m.deltaPct != 0 {
 			t.Fatalf("self-diff moved: %+v", m)
+		}
+		if m.allocRegressed(10) {
+			t.Fatalf("self-diff alloc-regressed: %+v", m)
 		}
 	}
 	if len(onlyOld) != 0 || len(onlyNew) != 0 {

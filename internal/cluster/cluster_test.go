@@ -110,7 +110,7 @@ func TestProcessRestartLosesFastSSessions(t *testing.T) {
 	done := false
 	n.Submit(&workload.Request{
 		Op: ebid.Authenticate, SessionID: "s1",
-		Args:     map[string]any{"user": int64(1)},
+		Args:     core.ArgMap{"user": int64(1)},
 		Complete: func(r workload.Response) { done = r.OK() },
 	})
 	k.RunFor(time.Second)
@@ -181,7 +181,7 @@ func TestHungRequestsOccupyWorkersUntilKilled(t *testing.T) {
 	}
 	var results []error
 	for i := 0; i < 2; i++ {
-		n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},
+		n.Submit(&workload.Request{Op: ebid.ViewItem, Args: core.ArgMap{"item": int64(1)},
 			Complete: func(r workload.Response) { results = append(results, r.Err) }})
 	}
 	k.RunFor(time.Second)
@@ -221,7 +221,7 @@ func TestRequestTTLPurgesStuckRequests(t *testing.T) {
 	}
 	var got error
 	fired := false
-	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},
+	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: core.ArgMap{"item": int64(1)},
 		Complete: func(r workload.Response) { got, fired = r.Err, true }})
 	k.RunFor(11 * time.Second)
 	if !fired || !errors.Is(got, ErrRequestTimeout) {
@@ -254,7 +254,7 @@ func TestLoadBalancerAffinityAndFailover(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		sid := fmt.Sprintf("s%d", i)
 		lb.Submit(&workload.Request{Op: ebid.Authenticate, SessionID: sid,
-			Args: map[string]any{"user": int64(i + 1)},
+			Args: core.ArgMap{"user": int64(i + 1)},
 			Complete: func(r workload.Response) {
 				if r.OK() {
 					ok++
@@ -341,7 +341,7 @@ func TestSharedSSMSurvivesFailover(t *testing.T) {
 	lb := NewLoadBalancer(nodes)
 	okCount := 0
 	lb.Submit(&workload.Request{Op: ebid.Authenticate, SessionID: "s0",
-		Args: map[string]any{"user": int64(1)},
+		Args: core.ArgMap{"user": int64(1)},
 		Complete: func(r workload.Response) {
 			if r.OK() {
 				okCount++
@@ -397,7 +397,7 @@ func TestMicrorebootWithDelayDrainsInFlight(t *testing.T) {
 	}
 	// During the grace window the sentinel is already bound.
 	var got error
-	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},
+	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: core.ArgMap{"item": int64(1)},
 		Complete: func(r workload.Response) { got = r.Err }})
 	k.RunFor(100 * time.Millisecond)
 	if got == nil || !errors.Is(got, ErrServiceUnavailable) {
@@ -406,7 +406,7 @@ func TestMicrorebootWithDelayDrainsInFlight(t *testing.T) {
 	k.RunFor(2 * time.Second)
 	var after error
 	fired := false
-	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},
+	n.Submit(&workload.Request{Op: ebid.ViewItem, Args: core.ArgMap{"item": int64(1)},
 		Complete: func(r workload.Response) { after, fired = r.Err, true }})
 	k.RunFor(time.Second)
 	if !fired || after != nil {

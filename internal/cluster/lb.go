@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/ebid"
@@ -13,10 +15,12 @@ import (
 )
 
 // RoutingPolicy decides which node serves a request the affinity map
-// does not already pin. Policies are invoked under the balancer's lock,
-// so they need no locking of their own; candidate slices are the
-// healthy nodes, or every node when none is healthy (the fallback path:
-// the request must reach some node to fail honestly).
+// does not already pin. Policies are invoked OUTSIDE the balancer's lock
+// (so routing hot paths never serialize on it) and may be called
+// concurrently — implementations must be concurrency-safe. Candidate
+// slices are the healthy nodes, or every node when none is healthy (the
+// fallback path: the request must reach some node to fail honestly);
+// they are only valid for the duration of the call.
 type RoutingPolicy interface {
 	Name() string
 	// RouteNew picks the node for a request with no session affinity. A
@@ -34,8 +38,8 @@ type RoutingPolicy interface {
 // load-blind — the baseline the queue-aware policies are measured
 // against.
 type RoundRobinPolicy struct {
-	rrNew   int
-	rrSpill int
+	rrNew   atomic.Uint64
+	rrSpill atomic.Uint64
 }
 
 // NewRoundRobin builds the static baseline policy.
@@ -46,16 +50,12 @@ func (p *RoundRobinPolicy) Name() string { return "round-robin" }
 
 // RouteNew implements RoutingPolicy.
 func (p *RoundRobinPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
-	n := cands[p.rrNew%len(cands)]
-	p.rrNew++
-	return n, nil
+	return cands[int((p.rrNew.Add(1)-1)%uint64(len(cands)))], nil
 }
 
 // RouteSpill implements RoutingPolicy.
 func (p *RoundRobinPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
-	n := cands[p.rrSpill%len(cands)]
-	p.rrSpill++
-	return n
+	return cands[int((p.rrSpill.Add(1)-1)%uint64(len(cands)))]
 }
 
 // LeastLoadedPolicy routes to the candidate with the fewest requests in
@@ -176,14 +176,17 @@ func (e *ShedError) Unwrap() error { return ErrServiceUnavailable }
 // on recovery signals or for a rolling reboot — has its traffic
 // redirected to the good nodes until it is restored.
 //
-// The balancer's own state (affinity, drain flags, policy cursors,
-// counters) is lock-protected, so the fleet controller can flip drain
-// state and the plane's fleet probe can sample while routing decisions
-// are in flight. The nodes themselves belong to the single-threaded
-// simulation kernel: routing reads their queue/busy gauges, but request
-// dispatch must stay on the kernel's thread.
+// The balancer's hot path is read-mostly: Route takes only a read lock
+// on the shared RWMutex (affinity hits write nothing), counters are
+// atomics, policies keep their own concurrency-safe cursors and run
+// outside the lock, and candidate slices come from a pool — steady-state
+// routing allocates nothing and never serializes behind a drain flip or
+// a fleet probe. Writers (SetPolicy, SetDrain, affinity assignment and
+// pruning) take the write lock. The nodes themselves belong to the
+// single-threaded simulation kernel: routing reads their queue/busy
+// gauges, but request dispatch must stay on the kernel's thread.
 type LoadBalancer struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	nodes    []*Node
 	byName   map[string]*Node
 	affinity map[string]*Node
@@ -193,13 +196,19 @@ type LoadBalancer struct {
 
 	// Failover enables redirection; with it off, requests keep flowing
 	// to the recovering node (the paper's pre-failover µRB scheme).
+	// Set at construction/experiment setup, before routing traffic.
 	Failover bool
 
-	// stats
-	failedOver    int64
+	// stats — atomics so the routing fast path bumps them without
+	// promoting its read lock.
+	failedOver atomic.Int64
+	shed       atomic.Int64
+	pruned     atomic.Int64
+
+	// movedMu guards sessionsMoved (failover spills are rare; a plain
+	// mutex there keeps the hot path's RWMutex uncontended).
+	movedMu       sync.Mutex
 	sessionsMoved map[string]bool
-	shed          int64
-	pruned        int64
 }
 
 // NewLoadBalancer builds a balancer over the given nodes with the
@@ -232,8 +241,8 @@ func (lb *LoadBalancer) SetPolicy(p RoutingPolicy) {
 
 // PolicyName reports the installed policy.
 func (lb *LoadBalancer) PolicyName() string {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
 	return lb.policy.Name()
 }
 
@@ -260,9 +269,9 @@ func (lb *LoadBalancer) SetDrain(node string, drain bool) bool {
 // returning the modeled recovery duration — the fleet controller's
 // rolling-rejuvenation actuator.
 func (lb *LoadBalancer) RebootNode(node string) (time.Duration, error) {
-	lb.mu.Lock()
+	lb.mu.RLock()
 	n, ok := lb.byName[node]
-	lb.mu.Unlock()
+	lb.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("cluster: unknown node %q", node)
 	}
@@ -276,8 +285,8 @@ func (lb *LoadBalancer) RebootNode(node string) (time.Duration, error) {
 // FleetStats implements controlplane.FleetProbe: one load/health sample
 // per node for the plane's per-tick fleet probe.
 func (lb *LoadBalancer) FleetStats() []controlplane.NodeStat {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
 	out := make([]controlplane.NodeStat, 0, len(lb.nodes))
 	for _, n := range lb.nodes {
 		completed, failed, _, _ := n.Stats()
@@ -298,53 +307,58 @@ func (lb *LoadBalancer) FleetStats() []controlplane.NodeStat {
 
 // FailedOverRequests reports how many requests were redirected away from
 // their affinity node.
-func (lb *LoadBalancer) FailedOverRequests() int64 {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.failedOver
-}
+func (lb *LoadBalancer) FailedOverRequests() int64 { return lb.failedOver.Load() }
 
 // SessionsFailedOver reports how many distinct sessions had at least one
 // request redirected.
 func (lb *LoadBalancer) SessionsFailedOver() int {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	lb.movedMu.Lock()
+	defer lb.movedMu.Unlock()
 	return len(lb.sessionsMoved)
 }
 
 // Shed reports how many requests admission control rejected.
-func (lb *LoadBalancer) Shed() int64 {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.shed
-}
+func (lb *LoadBalancer) Shed() int64 { return lb.shed.Load() }
 
 // AffinitySize reports the live affinity-map population (the leak the
 // pruning exists to prevent).
 func (lb *LoadBalancer) AffinitySize() int {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
 	return len(lb.affinity)
 }
 
 // AffinityPruned reports how many affinity entries were retired on
 // logout or session lapse.
-func (lb *LoadBalancer) AffinityPruned() int64 {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.pruned
-}
+func (lb *LoadBalancer) AffinityPruned() int64 { return lb.pruned.Load() }
 
-// healthy returns nodes that are neither down nor draining. Callers
-// hold lb.mu.
-func (lb *LoadBalancer) healthy() []*Node {
-	var out []*Node
+// candPool recycles candidate buffers so steady-state routing does not
+// allocate. Buffers start at 16 slots and grow with the fleet.
+var candPool = sync.Pool{New: func() any {
+	b := make([]*Node, 0, 16)
+	return &b
+}}
+
+// healthyInto fills a pooled buffer with the nodes that are neither down
+// nor draining. Callers hold lb.mu (read suffices) and must return the
+// buffer with putCands once the policy call is over.
+func (lb *LoadBalancer) healthyInto() *[]*Node {
+	buf := candPool.Get().(*[]*Node)
+	*buf = (*buf)[:0]
 	for _, n := range lb.nodes {
 		if !n.Down() && !lb.draining[n] {
-			out = append(out, n)
+			*buf = append(*buf, n)
 		}
 	}
-	return out
+	return buf
+}
+
+func putCands(buf *[]*Node) {
+	for i := range *buf {
+		(*buf)[i] = nil
+	}
+	*buf = (*buf)[:0]
+	candPool.Put(buf)
 }
 
 // Submit implements workload.Frontend.
@@ -365,33 +379,48 @@ func (lb *LoadBalancer) Submit(req *workload.Request) {
 // submitting it. A non-nil error means admission control rejected the
 // request.
 func (lb *LoadBalancer) Route(req *workload.Request) (*Node, error) {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	lb.mu.RLock()
+	policy := lb.policy
 	// Established sessions stick to their node.
 	if n, ok := lb.affinity[req.SessionID]; ok {
 		if lb.Failover && (lb.draining[n] || n.Down()) {
 			// Redirect to the good nodes; the policy picks which.
-			if good := lb.healthy(); len(good) > 0 {
-				lb.failedOver++
-				lb.sessionsMoved[req.SessionID] = true
-				return lb.policy.RouteSpill(req, good), nil
+			good := lb.healthyInto()
+			lb.mu.RUnlock()
+			if len(*good) == 0 {
+				putCands(good)
+				return n, nil
 			}
+			lb.failedOver.Add(1)
+			lb.movedMu.Lock()
+			lb.sessionsMoved[req.SessionID] = true
+			lb.movedMu.Unlock()
+			spill := policy.RouteSpill(req, *good)
+			putCands(good)
+			return spill, nil
 		}
+		lb.mu.RUnlock()
 		return n, nil
 	}
 	// New sessions (the request establishing them) go wherever the
 	// policy says; if no node is healthy, any node takes the failure.
-	cands := lb.healthy()
+	buf := lb.healthyInto()
+	lb.mu.RUnlock()
+	cands := *buf
 	if len(cands) == 0 {
+		// lb.nodes is fixed at construction, safe to read unlocked.
 		cands = lb.nodes
 	}
-	n, err := lb.policy.RouteNew(req, cands)
+	n, err := policy.RouteNew(req, cands)
+	putCands(buf)
 	if err != nil {
-		lb.shed++
+		lb.shed.Add(1)
 		return nil, err
 	}
 	if isLoginOp(req.Op) {
+		lb.mu.Lock()
 		lb.affinity[req.SessionID] = n
+		lb.mu.Unlock()
 	}
 	return n, nil
 }
@@ -423,14 +452,14 @@ func (lb *LoadBalancer) noteCompletion(op, sid string, resp workload.Response) {
 	defer lb.mu.Unlock()
 	if _, ok := lb.affinity[sid]; ok {
 		delete(lb.affinity, sid)
-		lb.pruned++
+		lb.pruned.Add(1)
 	}
 }
 
 // SessionsOn counts sessions whose affinity points at n.
 func (lb *LoadBalancer) SessionsOn(n *Node) int {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
 	count := 0
 	for _, node := range lb.affinity {
 		if node == n {
@@ -443,8 +472,8 @@ func (lb *LoadBalancer) SessionsOn(n *Node) int {
 // ResetFailoverStats clears the failover counters (between experiment
 // phases).
 func (lb *LoadBalancer) ResetFailoverStats() {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	lb.failedOver = 0
+	lb.failedOver.Store(0)
+	lb.movedMu.Lock()
+	defer lb.movedMu.Unlock()
 	lb.sessionsMoved = map[string]bool{}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/core"
 	"repro/internal/ebid"
 	"repro/internal/faults"
 	"repro/internal/sim"
@@ -48,7 +49,7 @@ func wedge(t *testing.T, k *sim.Kernel, n *Node, depth int) *faults.ActiveFault 
 		t.Fatal(err)
 	}
 	for i := 0; i < n.Workers()+depth; i++ {
-		n.Submit(&workload.Request{Op: ebid.ViewItem, Args: map[string]any{"item": int64(1)},
+		n.Submit(&workload.Request{Op: ebid.ViewItem, Args: core.ArgMap{"item": int64(1)},
 			Complete: func(workload.Response) {}})
 	}
 	k.RunFor(100 * time.Millisecond)
@@ -92,7 +93,7 @@ func TestSheddingRejectsNewLoginsPastWatermark(t *testing.T) {
 	// Establish a session while the fleet is healthy.
 	var ok bool
 	lb.Submit(&workload.Request{Op: ebid.Authenticate, SessionID: "held",
-		Args:     map[string]any{"user": int64(1)},
+		Args:     core.ArgMap{"user": int64(1)},
 		Complete: func(r workload.Response) { ok = r.OK() }})
 	k.RunFor(time.Second)
 	if !ok {
@@ -168,7 +169,7 @@ func TestAffinityPrunedOnLogoutAndLease(t *testing.T) {
 	login := func(sid string, user int64) {
 		var ok bool
 		lb.Submit(&workload.Request{Op: ebid.Authenticate, SessionID: sid,
-			Args:     map[string]any{"user": user},
+			Args:     core.ArgMap{"user": user},
 			Complete: func(r workload.Response) { ok = r.OK() }})
 		k.RunFor(time.Second)
 		if !ok {

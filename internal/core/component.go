@@ -80,6 +80,27 @@ const (
 	txCorrupted TxAttr = "\x00corrupted"
 )
 
+// Args carries operation arguments through a Call. Implementations are
+// typed per-operation codecs: a struct with one field per argument avoids
+// the per-call map allocation the generic form pays. ArgMap is the
+// generic (map-backed) implementation for tests, tools, and arbitrary
+// key sets.
+type Args interface {
+	// Arg returns the named argument; ok is false when absent. A zero
+	// value that is legal for the argument must still report ok (typed
+	// codecs carry explicit presence where zero is meaningful).
+	Arg(name string) (any, bool)
+}
+
+// ArgMap is the generic map-backed Args implementation.
+type ArgMap map[string]any
+
+// Arg implements Args.
+func (m ArgMap) Arg(name string) (any, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
 // Call is one invocation travelling through the application: the unit the
 // shepherding thread of the paper carries from the web tier through the
 // EJBs. Components append themselves to Path, which both reproduces the
@@ -95,7 +116,7 @@ type Call struct {
 	// SessionID identifies the HTTP session (cookie analog).
 	SessionID string
 	// Args carries operation arguments.
-	Args map[string]any
+	Args Args
 	// TTL is the execution lease: Server.Invoke enforces it as a context
 	// deadline on the root invocation, so a stuck call observes
 	// cancellation (cause ErrLeaseExpired) when it expires.
@@ -109,6 +130,12 @@ type Call struct {
 	// killed is set when a microreboot destroys the call's shepherd.
 	killed atomic.Bool
 
+	// trackPrev/trackNext link the call into its component's active-call
+	// list while an Invoke is in flight. They are owned by the server's
+	// call tracking (guarded by the component shard's mutex) and give
+	// track/untrack O(1) cost with no map hashing.
+	trackPrev, trackNext *Call
+
 	// mu guards the context binding below; it is only meaningful on the
 	// root call of a request.
 	mu     sync.Mutex
@@ -116,12 +143,62 @@ type Call struct {
 	cancel context.CancelCauseFunc
 }
 
+// callPool recycles Call objects across requests. A Call holds a mutex
+// and an atomic, so it is reset field by field (never copied) before
+// being pooled again.
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+// NewCall returns a root call drawn from the call pool. Callers that own
+// the request's lifetime should hand the call back with Release once the
+// invocation has returned and the call is no longer referenced.
+func NewCall(op, sessionID string, args Args, ttl time.Duration) *Call {
+	c := callPool.Get().(*Call)
+	c.Op = op
+	c.SessionID = sessionID
+	c.Args = args
+	c.TTL = ttl
+	return c
+}
+
 // Child derives a sub-invocation for an inter-component call: it shares
 // the session and TTL, records its traversal into the parent's path, and
 // propagates kills to the parent (the shepherding thread is one and the
-// same).
-func (c *Call) Child(op string, args map[string]any) *Call {
-	return &Call{Op: op, SessionID: c.SessionID, Args: args, TTL: c.TTL, parent: c}
+// same). The child is drawn from the call pool; release it with Release
+// after its Invoke returns.
+func (c *Call) Child(op string, args Args) *Call {
+	ch := callPool.Get().(*Call)
+	ch.Op = op
+	ch.SessionID = c.SessionID
+	ch.Args = args
+	ch.TTL = c.TTL
+	ch.parent = c
+	return ch
+}
+
+// Release resets the call and returns it to the call pool, reporting
+// whether it was recycled. Killed calls are refused: a microreboot
+// retains them in Reboot.KilledCalls, so recycling would alias live
+// bookkeeping. The server kills calls only while they are tracked (under
+// the shard lock Invoke untracks through), so once Invoke has returned,
+// the killed flag is stable and Release is safe to call.
+func (c *Call) Release() bool {
+	if c.killed.Load() {
+		return false
+	}
+	c.mu.Lock()
+	bound := c.bound
+	c.mu.Unlock()
+	if bound {
+		return false
+	}
+	c.Op, c.Component, c.SessionID = "", "", ""
+	c.Args = nil
+	c.TTL = 0
+	c.Path = c.Path[:0] // keep capacity: Via appends stay allocation-free
+	c.parent = nil
+	c.trackPrev, c.trackNext = nil, nil
+	callPool.Put(c)
+	return true
 }
 
 // Via records that the call entered the named component; the traversal is
@@ -194,17 +271,22 @@ func (c *Call) bindContext(parent context.Context) (context.Context, func()) {
 	}
 }
 
-// Arg fetches a typed argument; ok is false when absent or mistyped.
+// Arg fetches a typed argument; ok is false when absent or mistyped —
+// typed access fails closed rather than coercing across types.
 func Arg[T any](c *Call, name string) (T, bool) {
 	var zero T
 	if c.Args == nil {
 		return zero, false
 	}
-	v, ok := c.Args[name].(T)
+	v, ok := c.Args.Arg(name)
 	if !ok {
 		return zero, false
 	}
-	return v, true
+	t, ok := v.(T)
+	if !ok {
+		return zero, false
+	}
+	return t, true
 }
 
 // Component is the unit of microrebootability. Implementations must be

@@ -794,7 +794,7 @@ func TestPropertyMicrorebootAlwaysReintegrates(t *testing.T) {
 }
 
 func TestCallHelpers(t *testing.T) {
-	c := &Call{Op: "x", Args: map[string]any{"id": int64(7), "name": "n"}}
+	c := &Call{Op: "x", Args: ArgMap{"id": int64(7), "name": "n"}}
 	if v, ok := Arg[int64](c, "id"); !ok || v != 7 {
 		t.Fatalf("Arg[int64] = %v/%v", v, ok)
 	}

@@ -349,17 +349,20 @@ func (s *Server) Invoke(ctx context.Context, component string, call *Call) (any,
 
 func (s *Server) hangParking() bool { return s.hangPark.Load() }
 
-// callSet is one component's shard of the active-call table.
+// callSet is one component's shard of the active-call table: an
+// intrusive doubly-linked list threaded through the calls themselves, so
+// track/untrack are pointer swaps — no map hashing, no allocation.
 type callSet struct {
-	mu    sync.Mutex
-	calls map[*Call]struct{}
+	mu   sync.Mutex
+	head *Call
+	n    int
 }
 
 func (s *Server) callShard(component string) *callSet {
 	if v, ok := s.active.Load(component); ok {
 		return v.(*callSet)
 	}
-	v, _ := s.active.LoadOrStore(component, &callSet{calls: map[*Call]struct{}{}})
+	v, _ := s.active.LoadOrStore(component, &callSet{})
 	return v.(*callSet)
 }
 
@@ -367,14 +370,28 @@ func (s *Server) callShard(component string) *callSet {
 func (s *Server) trackCall(component string, call *Call) {
 	cs := s.callShard(component)
 	cs.mu.Lock()
-	cs.calls[call] = struct{}{}
+	call.trackNext = cs.head
+	if cs.head != nil {
+		cs.head.trackPrev = call
+	}
+	cs.head = call
+	cs.n++
 	cs.mu.Unlock()
 }
 
 func (s *Server) untrackCall(component string, call *Call) {
 	cs := s.callShard(component)
 	cs.mu.Lock()
-	delete(cs.calls, call)
+	if call.trackPrev != nil {
+		call.trackPrev.trackNext = call.trackNext
+	} else {
+		cs.head = call.trackNext
+	}
+	if call.trackNext != nil {
+		call.trackNext.trackPrev = call.trackPrev
+	}
+	call.trackPrev, call.trackNext = nil, nil
+	cs.n--
 	cs.mu.Unlock()
 }
 
@@ -384,23 +401,24 @@ func (s *Server) ActiveCalls(component string) int {
 	cs := s.callShard(component)
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	return len(cs.calls)
+	return cs.n
 }
 
 // killActive kills every call currently shepherded through component and
 // returns them. The kill cancels each request's root context, so blocked
-// or parked calls observe ctx.Done() immediately.
+// or parked calls observe ctx.Done() immediately. Killing happens under
+// the shard lock: untrackCall serializes against it, so once Invoke has
+// untracked a call, no kill can reach it anymore — the invariant that
+// makes Call.Release's pooling safe.
 func (s *Server) killActive(component string) []*Call {
 	cs := s.callShard(component)
 	cs.mu.Lock()
-	victims := make([]*Call, 0, len(cs.calls))
-	for call := range cs.calls {
+	victims := make([]*Call, 0, cs.n)
+	for call := cs.head; call != nil; call = call.trackNext {
+		call.Kill()
 		victims = append(victims, call)
 	}
 	cs.mu.Unlock()
-	for _, call := range victims {
-		call.Kill()
-	}
 	return victims
 }
 

@@ -68,7 +68,10 @@ func (w *war) Serve(ctx context.Context, call *core.Call) (any, error) {
 	// Dynamic operations route to the session component of the same
 	// name; the sub-invocation goes through the server's interceptor
 	// pipeline and inherits this request's shepherd context.
-	return w.env.Server.Invoke(ctx, call.Op, call.Child(call.Op, call.Args))
+	child := call.Child(call.Op, call.Args)
+	res, err := w.env.Server.Invoke(ctx, call.Op, child)
+	child.Release()
+	return res, err
 }
 
 // App bundles a deployed eBid application with its resources.

@@ -1,0 +1,214 @@
+package ebid
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/store/db"
+)
+
+// OpArgs is the typed argument codec for the end-user operations: one
+// field per argument the 17 session components read, replacing the
+// per-request map[string]any allocation on the hot path. A zero-valued
+// field reads as absent — every numeric argument here is >= 1 when
+// present — except Rating, where zero and negative values are legal and
+// presence is carried explicitly by HasRating.
+type OpArgs struct {
+	User     int64
+	Item     int64
+	Category int64
+	Region   int64
+	Amount   float64
+	Rating   int64
+	// HasRating marks Rating as present.
+	HasRating bool
+}
+
+// Arg implements core.Args.
+func (a *OpArgs) Arg(name string) (any, bool) {
+	switch name {
+	case "user":
+		if a.User != 0 {
+			return a.User, true
+		}
+	case "item":
+		if a.Item != 0 {
+			return a.Item, true
+		}
+	case "category":
+		if a.Category != 0 {
+			return a.Category, true
+		}
+	case "region":
+		if a.Region != 0 {
+			return a.Region, true
+		}
+	case "amount":
+		if a.Amount != 0 {
+			return a.Amount, true
+		}
+	case "rating":
+		if a.HasRating {
+			return a.Rating, true
+		}
+	}
+	return nil, false
+}
+
+// int64Arg is the boxing-free accessor the session components use on
+// their fast path.
+func (a *OpArgs) int64Arg(name string) (int64, bool) {
+	switch name {
+	case "user":
+		if a.User != 0 {
+			return a.User, true
+		}
+	case "item":
+		if a.Item != 0 {
+			return a.Item, true
+		}
+	case "category":
+		if a.Category != 0 {
+			return a.Category, true
+		}
+	case "region":
+		if a.Region != 0 {
+			return a.Region, true
+		}
+	case "rating":
+		if a.HasRating {
+			return a.Rating, true
+		}
+	}
+	return 0, false
+}
+
+// SetString decodes one URL-style key=value pair into the codec,
+// reporting whether the key is one it carries. HTTP front ends use it to
+// route recognized query keys onto the typed path and fall back to a
+// generic core.ArgMap for anything else.
+func (a *OpArgs) SetString(key, val string) bool {
+	switch key {
+	case "user", "item", "category", "region", "rating":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return false
+		}
+		switch key {
+		case "user":
+			a.User = n
+		case "item":
+			a.Item = n
+		case "category":
+			a.Category = n
+		case "region":
+			a.Region = n
+		case "rating":
+			a.Rating = n
+			a.HasRating = true
+		}
+		return true
+	case "amount":
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return false
+		}
+		a.Amount = x
+		return true
+	}
+	return false
+}
+
+// EntityArgs is the typed argument codec for entity sub-operations (the
+// load/create/update/byIndex/list/next hops session components make).
+// Instances are pooled: invokeEntity releases them once the child call
+// has been safely recycled.
+type EntityArgs struct {
+	Key int64
+	// HasKey marks Key as present (opCreate distinguishes caller-chosen
+	// keys from auto-assigned ones).
+	HasKey bool
+	Row    db.Row
+	Tx     *db.Tx
+	Col    string
+	Val    any
+	Limit  int
+	Kind   string
+}
+
+// Arg implements core.Args.
+func (a *EntityArgs) Arg(name string) (any, bool) {
+	switch name {
+	case "key":
+		if a.HasKey {
+			return a.Key, true
+		}
+	case "row":
+		if a.Row != nil {
+			return a.Row, true
+		}
+	case "tx":
+		if a.Tx != nil {
+			return a.Tx, true
+		}
+	case "col":
+		if a.Col != "" {
+			return a.Col, true
+		}
+	case "val":
+		if a.Val != nil {
+			return a.Val, true
+		}
+	case "limit":
+		if a.Limit != 0 {
+			return a.Limit, true
+		}
+	case "kind":
+		if a.Kind != "" {
+			return a.Kind, true
+		}
+	}
+	return nil, false
+}
+
+var entityArgsPool = sync.Pool{New: func() any { return new(EntityArgs) }}
+
+func newEntityArgs() *EntityArgs { return entityArgsPool.Get().(*EntityArgs) }
+
+func (a *EntityArgs) release() {
+	*a = EntityArgs{}
+	entityArgsPool.Put(a)
+}
+
+// The constructors below build pooled EntityArgs for the hop shapes the
+// session components use. tx may be nil (auto-commit hop).
+
+func keyArgs(tx *db.Tx, key int64) *EntityArgs {
+	a := newEntityArgs()
+	a.Key, a.HasKey, a.Tx = key, true, tx
+	return a
+}
+
+func rowArgs(tx *db.Tx, key int64, row db.Row) *EntityArgs {
+	a := newEntityArgs()
+	a.Key, a.HasKey, a.Row, a.Tx = key, true, row, tx
+	return a
+}
+
+func byIndexArgs(col string, val any) *EntityArgs {
+	a := newEntityArgs()
+	a.Col, a.Val = col, val
+	return a
+}
+
+func listArgs(limit int) *EntityArgs {
+	a := newEntityArgs()
+	a.Limit = limit
+	return a
+}
+
+func kindArgs(tx *db.Tx, kind string) *EntityArgs {
+	a := newEntityArgs()
+	a.Kind, a.Tx = kind, tx
+	return a
+}

@@ -1,0 +1,181 @@
+package ebid
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store/db"
+	"repro/internal/store/session"
+)
+
+// argStep is one operation issued twice: once with the typed codec, once
+// with the generic map the codec replaced.
+type argStep struct {
+	op     string
+	typed  *OpArgs
+	legacy core.ArgMap
+}
+
+// TestOpArgsMatchesArgMap drives two identical apps through every
+// argument-carrying end-user operation — typed codec on one, ArgMap on
+// the other — and requires identical response bodies. This is the
+// round-trip guarantee: the codec encodes exactly what the map did.
+func TestOpArgsMatchesArgMap(t *testing.T) {
+	typedApp, _ := newApp(t)
+	legacyApp, _ := newApp(t)
+
+	steps := []argStep{
+		{Authenticate, &OpArgs{User: 3}, core.ArgMap{"user": int64(3)}},
+		{AboutMe, nil, nil},
+		{BrowseCategories, nil, nil},
+		{BrowseRegions, nil, nil},
+		{ViewItem, &OpArgs{Item: 7}, core.ArgMap{"item": int64(7)}},
+		{ViewUserInfo, &OpArgs{User: 2}, core.ArgMap{"user": int64(2)}},
+		{ViewBidHistory, &OpArgs{Item: 5}, core.ArgMap{"item": int64(5)}},
+		{SearchItemsByCategory, &OpArgs{Category: 2}, core.ArgMap{"category": int64(2)}},
+		{SearchItemsByRegion, &OpArgs{Region: 3}, core.ArgMap{"region": int64(3)}},
+		{MakeBid, &OpArgs{Item: 9}, core.ArgMap{"item": int64(9)}},
+		{CommitBid, &OpArgs{Amount: 42.5}, core.ArgMap{"amount": 42.5}},
+		{DoBuyNow, &OpArgs{Item: 11}, core.ArgMap{"item": int64(11)}},
+		{CommitBuyNow, nil, nil},
+		{LeaveUserFeedback, &OpArgs{User: 4}, core.ArgMap{"user": int64(4)}},
+		// Rating zero and negative are legal values — presence must come
+		// from HasRating, not from the value being non-zero.
+		{CommitUserFeedback, &OpArgs{Rating: 0, HasRating: true}, core.ArgMap{"rating": int64(0)}},
+		{LeaveUserFeedback, &OpArgs{User: 5}, core.ArgMap{"user": int64(5)}},
+		{CommitUserFeedback, &OpArgs{Rating: -5, HasRating: true}, core.ArgMap{"rating": int64(-5)}},
+		{RegisterNewItem, &OpArgs{Category: 1}, core.ArgMap{"category": int64(1)}},
+		{RegisterNewUser, &OpArgs{Region: 2}, core.ArgMap{"region": int64(2)}},
+		{OpLogout, nil, nil},
+	}
+	const sid = "codec-sess"
+	for _, st := range steps {
+		var typedArgs core.Args
+		if st.typed != nil {
+			typedArgs = st.typed
+		}
+		gotTyped, errTyped := typedApp.Execute(context.Background(),
+			&core.Call{Op: st.op, SessionID: sid, Args: typedArgs})
+		var legacyArgs core.Args
+		if st.legacy != nil {
+			legacyArgs = st.legacy
+		}
+		gotLegacy, errLegacy := legacyApp.Execute(context.Background(),
+			&core.Call{Op: st.op, SessionID: sid, Args: legacyArgs})
+		if (errTyped == nil) != (errLegacy == nil) {
+			t.Fatalf("%s: typed err=%v, legacy err=%v", st.op, errTyped, errLegacy)
+		}
+		if gotTyped != gotLegacy {
+			t.Fatalf("%s: typed body %q != legacy body %q", st.op, gotTyped, gotLegacy)
+		}
+	}
+}
+
+// TestOpArgsMissingBehavesLikeNil checks the zero-value-means-absent
+// contract: an op invoked with a zero OpArgs must behave exactly like one
+// invoked with nil args (the session components' defaulting kicks in for
+// both), not read the zero values as real arguments.
+func TestOpArgsMissingBehavesLikeNil(t *testing.T) {
+	app, _ := newApp(t)
+	for _, op := range []string{ViewItem, ViewUserInfo, ViewBidHistory, SearchItemsByCategory, SearchItemsByRegion} {
+		bodyZero, errZero := app.Execute(context.Background(), &core.Call{Op: op, Args: &OpArgs{}})
+		bodyNil, errNil := app.Execute(context.Background(), &core.Call{Op: op})
+		if (errZero == nil) != (errNil == nil) {
+			t.Fatalf("%s: zero err=%v, nil err=%v", op, errZero, errNil)
+		}
+		if bodyZero != bodyNil {
+			t.Fatalf("%s: zero-args body %q != nil-args body %q", op, bodyZero, bodyNil)
+		}
+	}
+}
+
+// TestArgFailsClosedOnTypeMismatch: the generic accessor must report
+// absence, not panic or mis-coerce, when the stored type differs from
+// the requested one — for both the map and the typed codec.
+func TestArgFailsClosedOnTypeMismatch(t *testing.T) {
+	mapCall := &core.Call{Op: "x", Args: core.ArgMap{"user": int64(7)}}
+	if _, ok := core.Arg[string](mapCall, "user"); ok {
+		t.Fatal("Arg[string] coerced an int64 map value")
+	}
+	typedCall := &core.Call{Op: "x", Args: &OpArgs{User: 7}}
+	if _, ok := core.Arg[string](typedCall, "user"); ok {
+		t.Fatal("Arg[string] coerced an int64 codec value")
+	}
+	if v, ok := core.Arg[int64](typedCall, "user"); !ok || v != 7 {
+		t.Fatalf("Arg[int64] through the codec = %v/%v", v, ok)
+	}
+	if _, ok := core.Arg[int64](typedCall, "nope"); ok {
+		t.Fatal("unknown arg name reported present")
+	}
+}
+
+func TestOpArgsSetString(t *testing.T) {
+	oa := &OpArgs{}
+	cases := map[string]string{
+		"user": "3", "item": "9", "category": "2", "region": "4",
+		"amount": "12.5", "rating": "-3",
+	}
+	for k, v := range cases {
+		if !oa.SetString(k, v) {
+			t.Fatalf("SetString(%s, %s) rejected", k, v)
+		}
+	}
+	if oa.User != 3 || oa.Item != 9 || oa.Category != 2 || oa.Region != 4 {
+		t.Fatalf("int fields = %+v", oa)
+	}
+	if oa.Amount != 12.5 || oa.Rating != -3 || !oa.HasRating {
+		t.Fatalf("amount/rating = %+v", oa)
+	}
+	if oa.SetString("user", "notanumber") {
+		t.Fatal("bad int accepted")
+	}
+	if oa.SetString("flavor", "vanilla") {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+// TestEntityArgsArgMapCompat checks EntityArgs' generic accessor against
+// the map semantics the entity layer's fallback path expects.
+func TestEntityArgsArgMapCompat(t *testing.T) {
+	tx := &db.Tx{}
+	ea := &EntityArgs{Key: 5, HasKey: true, Tx: tx, Col: "user", Val: int64(9), Limit: 20, Kind: "bid"}
+	for name, want := range map[string]any{
+		"key": int64(5), "col": "user", "val": int64(9), "limit": 20, "kind": "bid",
+	} {
+		v, ok := ea.Arg(name)
+		if !ok || v != want {
+			t.Fatalf("Arg(%s) = %v/%v, want %v", name, v, ok, want)
+		}
+	}
+	if v, ok := ea.Arg("tx"); !ok || v != tx {
+		t.Fatalf("Arg(tx) = %v/%v", v, ok)
+	}
+	if _, ok := (&EntityArgs{}).Arg("key"); ok {
+		t.Fatal("absent key reported present")
+	}
+	if _, ok := ea.Arg("row"); ok {
+		t.Fatal("nil row reported present")
+	}
+}
+
+// TestReleasedCallNotPooledWhenKilled guards the pooling invariant: a
+// call retained by a kill (it lives on in Reboot.KilledCalls) must refuse
+// Release so it is never recycled under the microreboot bookkeeping.
+func TestReleasedCallNotPooledWhenKilled(t *testing.T) {
+	call := core.NewCall("op", "s", nil, 0)
+	call.Kill()
+	if call.Release() {
+		t.Fatal("killed call accepted Release")
+	}
+	fresh := core.NewCall("op2", "s", nil, 0)
+	if !fresh.Release() {
+		t.Fatal("fresh unkilled call refused Release")
+	}
+}
+
+func init() {
+	var _ core.Args = (*OpArgs)(nil)
+	var _ core.Args = (*EntityArgs)(nil)
+	var _ = session.NewFastS // keep imports honest if helpers move
+}

@@ -33,7 +33,7 @@ func newApp(t *testing.T) (*App, *session.FastS) {
 	return app, fs
 }
 
-func exec(t *testing.T, app *App, sessID, op string, args map[string]any) string {
+func exec(t *testing.T, app *App, sessID, op string, args core.ArgMap) string {
 	t.Helper()
 	body, err := app.Execute(context.Background(), &core.Call{Op: op, SessionID: sessID, Args: args})
 	if err != nil {
@@ -44,7 +44,7 @@ func exec(t *testing.T, app *App, sessID, op string, args map[string]any) string
 
 func login(t *testing.T, app *App, sessID string, user int64) {
 	t.Helper()
-	exec(t, app, sessID, Authenticate, map[string]any{"user": user})
+	exec(t, app, sessID, Authenticate, core.ArgMap{"user": user})
 }
 
 func TestDeploymentRoster(t *testing.T) {
@@ -82,15 +82,15 @@ func TestStaticAndReadOnlyOps(t *testing.T) {
 			t.Fatalf("%s returned empty body", op)
 		}
 	}
-	body := exec(t, app, "", ViewItem, map[string]any{"item": int64(3)})
+	body := exec(t, app, "", ViewItem, core.ArgMap{"item": int64(3)})
 	if want := "item 3"; !contains(body, want) {
 		t.Fatalf("ViewItem body = %q, want contains %q", body, want)
 	}
-	body = exec(t, app, "", ViewUserInfo, map[string]any{"user": int64(2)})
+	body = exec(t, app, "", ViewUserInfo, core.ArgMap{"user": int64(2)})
 	if !contains(body, "user 2") {
 		t.Fatalf("ViewUserInfo body = %q", body)
 	}
-	body = exec(t, app, "", SearchItemsByCategory, map[string]any{"category": int64(2)})
+	body = exec(t, app, "", SearchItemsByCategory, core.ArgMap{"category": int64(2)})
 	if !contains(body, "items") {
 		t.Fatalf("Search body = %q", body)
 	}
@@ -106,7 +106,7 @@ func TestViewItemFallsBackToOldItem(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	body := exec(t, app, "", ViewItem, map[string]any{"item": int64(5)})
+	body := exec(t, app, "", ViewItem, core.ArgMap{"item": int64(5)})
 	if !contains(body, "old item 5") {
 		t.Fatalf("body = %q, want old item fallback", body)
 	}
@@ -136,9 +136,9 @@ func TestLoginLogout(t *testing.T) {
 func TestBidFlow(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s1", 3)
-	exec(t, app, "s1", MakeBid, map[string]any{"item": int64(7)})
+	exec(t, app, "s1", MakeBid, core.ArgMap{"item": int64(7)})
 	before, _ := app.DB.RowCount(TblBids)
-	body := exec(t, app, "s1", CommitBid, map[string]any{"amount": 123.0})
+	body := exec(t, app, "s1", CommitBid, core.ArgMap{"amount": 123.0})
 	if !contains(body, "bid committed on item 7") {
 		t.Fatalf("CommitBid body = %q", body)
 	}
@@ -161,7 +161,7 @@ func TestBidFlow(t *testing.T) {
 func TestCommitBidWithoutSelection(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s1", 3)
-	_, err := app.Execute(context.Background(), &core.Call{Op: CommitBid, SessionID: "s1", Args: map[string]any{"amount": 5.0}})
+	_, err := app.Execute(context.Background(), &core.Call{Op: CommitBid, SessionID: "s1", Args: core.ArgMap{"amount": 5.0}})
 	if err == nil {
 		t.Fatal("CommitBid without MakeBid should fail")
 	}
@@ -170,7 +170,7 @@ func TestCommitBidWithoutSelection(t *testing.T) {
 func TestBuyNowFlow(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s2", 4)
-	exec(t, app, "s2", DoBuyNow, map[string]any{"item": int64(9)})
+	exec(t, app, "s2", DoBuyNow, core.ArgMap{"item": int64(9)})
 	body := exec(t, app, "s2", CommitBuyNow, nil)
 	if !contains(body, "purchase committed for item 9") {
 		t.Fatalf("body = %q", body)
@@ -184,8 +184,8 @@ func TestBuyNowFlow(t *testing.T) {
 func TestFeedbackFlow(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s3", 5)
-	exec(t, app, "s3", LeaveUserFeedback, map[string]any{"user": int64(6)})
-	body := exec(t, app, "s3", CommitUserFeedback, map[string]any{"rating": int64(3)})
+	exec(t, app, "s3", LeaveUserFeedback, core.ArgMap{"user": int64(6)})
+	body := exec(t, app, "s3", CommitUserFeedback, core.ArgMap{"rating": int64(3)})
 	if !contains(body, "feedback committed for user 6") {
 		t.Fatalf("body = %q", body)
 	}
@@ -199,14 +199,14 @@ func TestFeedbackFlow(t *testing.T) {
 
 func TestRegisterNewUserAndItem(t *testing.T) {
 	app, fs := newApp(t)
-	body := exec(t, app, "s4", RegisterNewUser, map[string]any{"region": int64(2)})
+	body := exec(t, app, "s4", RegisterNewUser, core.ArgMap{"region": int64(2)})
 	if !contains(body, "registered user 51") {
 		t.Fatalf("body = %q, want user 51 (next id after 50)", body)
 	}
 	if fs.Len() != 1 {
 		t.Fatal("RegisterNewUser must auto-login")
 	}
-	body = exec(t, app, "s4", RegisterNewItem, map[string]any{"category": int64(1)})
+	body = exec(t, app, "s4", RegisterNewItem, core.ArgMap{"category": int64(1)})
 	if !contains(body, "registered item 201") {
 		t.Fatalf("body = %q, want item 201", body)
 	}
@@ -215,13 +215,13 @@ func TestRegisterNewUserAndItem(t *testing.T) {
 func TestSessionSurvivesMicroreboot(t *testing.T) {
 	app, _ := newApp(t)
 	login(t, app, "s5", 7)
-	exec(t, app, "s5", MakeBid, map[string]any{"item": int64(3)})
+	exec(t, app, "s5", MakeBid, core.ArgMap{"item": int64(3)})
 	// Microreboot the whole EntityGroup plus MakeBid itself.
 	if _, err := app.Server.Microreboot(MakeBid, EntItem); err != nil {
 		t.Fatal(err)
 	}
 	// Session state survived; the user can commit the bid.
-	body := exec(t, app, "s5", CommitBid, map[string]any{"amount": 9.0})
+	body := exec(t, app, "s5", CommitBid, core.ArgMap{"amount": 9.0})
 	if !contains(body, "bid committed") {
 		t.Fatalf("post-µRB CommitBid body = %q", body)
 	}
@@ -233,7 +233,7 @@ func TestCallsDuringMicrorebootGetRetryAfter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = app.Execute(context.Background(), &core.Call{Op: ViewItem, Args: map[string]any{"item": int64(1)}})
+	_, err = app.Execute(context.Background(), &core.Call{Op: ViewItem, Args: core.ArgMap{"item": int64(1)}})
 	var ra *core.RetryAfterError
 	if !errors.As(err, &ra) {
 		t.Fatalf("err = %v, want RetryAfterError", err)
@@ -243,7 +243,7 @@ func TestCallsDuringMicrorebootGetRetryAfter(t *testing.T) {
 	if err := app.Server.CompleteMicroreboot(rb); err != nil {
 		t.Fatal(err)
 	}
-	exec(t, app, "", ViewItem, map[string]any{"item": int64(1)})
+	exec(t, app, "", ViewItem, core.ArgMap{"item": int64(1)})
 }
 
 func TestMicrorebootDurationMatchesTable3(t *testing.T) {
@@ -304,7 +304,7 @@ func TestFastSLossBreaksSessionsSSMDoesNot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := app2.Execute(context.Background(), &core.Call{Op: Authenticate, SessionID: "s1", Args: map[string]any{"user": int64(3)}}); err != nil {
+	if _, err := app2.Execute(context.Background(), &core.Call{Op: Authenticate, SessionID: "s1", Args: core.ArgMap{"user": int64(3)}}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate process restart: SSM keeps its state (it is off-node).
@@ -438,7 +438,7 @@ func TestIdentityManagerSequential(t *testing.T) {
 	var prev int64
 	for i := 0; i < 5; i++ {
 		res, err := app.Server.Invoke(context.Background(), IdentityManager,
-			&core.Call{Op: "next", Args: map[string]any{"kind": "bid"}})
+			&core.Call{Op: "next", Args: core.ArgMap{"kind": "bid"}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -453,7 +453,7 @@ func TestIdentityManagerSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := app.Server.Invoke(context.Background(), IdentityManager,
-		&core.Call{Op: "next", Args: map[string]any{"kind": "bid"}})
+		&core.Call{Op: "next", Args: core.ArgMap{"kind": "bid"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,11 +60,47 @@ func (e *entity) Init(env *core.Env) error {
 // Stop implements core.Component.
 func (e *entity) Stop() error { return nil }
 
-// tx returns the caller-supplied transaction, or starts an auto-commit
-// transaction. The returned done func commits auto transactions.
-func (e *entity) tx(call *core.Call) (tx *db.Tx, done func(err error) error, err error) {
-	if t, ok := core.Arg[*db.Tx](call, "tx"); ok && t != nil {
-		return t, func(err error) error { return err }, nil
+// entityArgView is the decoded argument set of one entity hop. It is
+// built once per Serve: a direct type assertion on the typed codec (the
+// hot path, no boxing) with a generic core.Arg fallback for map-backed
+// args.
+type entityArgView struct {
+	key    int64
+	hasKey bool
+	row    db.Row
+	tx     *db.Tx
+	col    string
+	val    any
+	limit  int
+	kind   string
+}
+
+func viewArgs(call *core.Call) entityArgView {
+	if a, ok := call.Args.(*EntityArgs); ok {
+		return entityArgView{
+			key: a.Key, hasKey: a.HasKey, row: a.Row, tx: a.Tx,
+			col: a.Col, val: a.Val, limit: a.Limit, kind: a.Kind,
+		}
+	}
+	var v entityArgView
+	v.key, v.hasKey = core.Arg[int64](call, "key")
+	v.row, _ = core.Arg[db.Row](call, "row")
+	v.tx, _ = core.Arg[*db.Tx](call, "tx")
+	v.col, _ = core.Arg[string](call, "col")
+	if call.Args != nil {
+		v.val, _ = call.Args.Arg("val")
+	}
+	v.limit, _ = core.Arg[int](call, "limit")
+	v.kind, _ = core.Arg[string](call, "kind")
+	return v
+}
+
+// txFrom returns the caller-supplied transaction, or starts an
+// auto-commit transaction. The returned done func commits auto
+// transactions.
+func (e *entity) txFrom(v entityArgView) (tx *db.Tx, done func(err error) error, err error) {
+	if v.tx != nil {
+		return v.tx, func(err error) error { return err }, nil
 	}
 	t, err := e.db.Begin()
 	if err != nil {
@@ -81,45 +117,40 @@ func (e *entity) tx(call *core.Call) (tx *db.Tx, done func(err error) error, err
 
 // Serve implements core.Component: the entity sub-operations.
 func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
-	tx, done, err := e.tx(call)
+	v := viewArgs(call)
+	tx, done, err := e.txFrom(v)
 	if err != nil {
 		return nil, err
 	}
 	var res any
 	switch call.Op {
 	case opLoad:
-		key, ok := core.Arg[int64](call, "key")
-		if !ok {
+		if !v.hasKey {
 			return nil, done(fmt.Errorf("ebid: %s load: missing key", e.table))
 		}
-		res, err = tx.Get(e.table, key)
+		res, err = tx.Get(e.table, v.key)
 	case opCreate:
-		row, ok := core.Arg[db.Row](call, "row")
-		if !ok {
+		if v.row == nil {
 			return nil, done(fmt.Errorf("ebid: %s create: missing row", e.table))
 		}
-		if key, haveKey := core.Arg[int64](call, "key"); haveKey {
-			err = tx.InsertWithKey(e.table, key, row)
-			res = key
+		if v.hasKey {
+			err = tx.InsertWithKey(e.table, v.key, v.row)
+			res = v.key
 		} else {
-			res, err = tx.Insert(e.table, row)
+			res, err = tx.Insert(e.table, v.row)
 		}
 	case opUpdate:
-		key, ok := core.Arg[int64](call, "key")
-		if !ok {
+		if !v.hasKey {
 			return nil, done(fmt.Errorf("ebid: %s update: missing key", e.table))
 		}
-		row, ok := core.Arg[db.Row](call, "row")
-		if !ok {
+		if v.row == nil {
 			return nil, done(fmt.Errorf("ebid: %s update: missing row", e.table))
 		}
-		err = tx.Update(e.table, key, row)
+		err = tx.Update(e.table, v.key, v.row)
 	case opByIndex:
-		col, _ := core.Arg[string](call, "col")
-		val := call.Args["val"]
-		res, err = tx.Lookup(e.table, col, val)
+		res, err = tx.Lookup(e.table, v.col, v.val)
 	case opList:
-		limit, _ := core.Arg[int](call, "limit")
+		limit := v.limit
 		if limit <= 0 {
 			limit = 20
 		}
@@ -189,13 +220,14 @@ func (m *idManager) Serve(ctx context.Context, call *core.Call) (any, error) {
 	if call.Op != opNextID {
 		return nil, fmt.Errorf("ebid: IdentityManager: unknown op %q", call.Op)
 	}
-	kind, ok := core.Arg[string](call, "kind")
-	if !ok {
+	v := viewArgs(call)
+	kind := v.kind
+	if kind == "" {
 		return nil, errors.New("ebid: IdentityManager: missing kind")
 	}
-	tx, autoCommit := core.Arg[*db.Tx](call, "tx")
+	tx := v.tx
 	var err error
-	if !autoCommit || tx == nil {
+	if tx == nil {
 		tx, err = m.db.Begin()
 		if err != nil {
 			return nil, err

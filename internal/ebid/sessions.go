@@ -14,8 +14,39 @@ import (
 // invocation pipeline, deriving a child call so the whole request shares
 // one shepherd: the entity hop inherits this request's context, and a
 // kill or lease expiry cancels every hop at once.
-func invokeEntity(ctx context.Context, env *core.Env, call *core.Call, entityName, op string, args map[string]any) (any, error) {
-	return env.Server.Invoke(ctx, entityName, call.Child(op, args))
+func invokeEntity(ctx context.Context, env *core.Env, call *core.Call, entityName, op string, args core.Args) (any, error) {
+	child := call.Child(op, args)
+	res, err := env.Server.Invoke(ctx, entityName, child)
+	// Recycle the child and its typed args, but only if the child was not
+	// retained by a kill (Release refuses and reports false in that case —
+	// the args then stay reachable from the retained call).
+	if child.Release() {
+		if ea, ok := args.(*EntityArgs); ok {
+			ea.release()
+		}
+	}
+	return res, err
+}
+
+// argInt64 reads one int64 operation argument, decoding straight off the
+// typed codec when present (no boxing) and falling back to the generic
+// path for map-backed args.
+func argInt64(call *core.Call, name string) (int64, bool) {
+	if a, ok := call.Args.(*OpArgs); ok {
+		return a.int64Arg(name)
+	}
+	return core.Arg[int64](call, name)
+}
+
+// argFloat64 is argInt64's float counterpart (the "amount" argument).
+func argFloat64(call *core.Call, name string) (float64, bool) {
+	if a, ok := call.Args.(*OpArgs); ok {
+		if a.Amount != 0 {
+			return a.Amount, true
+		}
+		return 0, false
+	}
+	return core.Arg[float64](call, name)
 }
 
 // sessionStore fetches the session store resource.
@@ -97,11 +128,11 @@ func beginTx(env *core.Env, name string) (*db.Tx, func(err error) error, error) 
 // component.
 
 func opAuthenticate(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	userID, ok := core.Arg[int64](call, "user")
+	userID, ok := argInt64(call, "user")
 	if !ok || userID <= 0 {
 		return nil, errors.New("ebid: Authenticate: bad user id")
 	}
-	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": userID})
+	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(nil, userID))
 	if err != nil {
 		return nil, fmt.Errorf("ebid: Authenticate: %w", err)
 	}
@@ -127,15 +158,15 @@ func opAboutMe(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	userRes, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": sess.UserID})
+	userRes, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(nil, sess.UserID))
 	if err != nil {
 		return nil, err
 	}
-	bids, err := invokeEntity(ctx, env, call, EntBid, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
+	bids, err := invokeEntity(ctx, env, call, EntBid, opByIndex, byIndexArgs("user", sess.UserID))
 	if err != nil {
 		return nil, err
 	}
-	buys, err := invokeEntity(ctx, env, call, BuyNow, opByIndex, map[string]any{"col": "user", "val": sess.UserID})
+	buys, err := invokeEntity(ctx, env, call, BuyNow, opByIndex, byIndexArgs("user", sess.UserID))
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +176,7 @@ func opAboutMe(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 }
 
 func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	res, err := invokeEntity(ctx, env, call, EntCategory, opList, map[string]any{"limit": 20})
+	res, err := invokeEntity(ctx, env, call, EntCategory, opList, listArgs(20))
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +184,7 @@ func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (an
 }
 
 func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	res, err := invokeEntity(ctx, env, call, EntRegion, opList, map[string]any{"limit": 62})
+	res, err := invokeEntity(ctx, env, call, EntRegion, opList, listArgs(62))
 	if err != nil {
 		return nil, err
 	}
@@ -161,11 +192,11 @@ func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, 
 }
 
 func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string, argKey string) (any, error) {
-	val, ok := core.Arg[int64](call, argKey)
+	val, ok := argInt64(call, argKey)
 	if !ok || val <= 0 {
 		val = 1
 	}
-	keys, err := invokeEntity(ctx, env, call, EntItem, opByIndex, map[string]any{"col": col, "val": val})
+	keys, err := invokeEntity(ctx, env, call, EntItem, opByIndex, byIndexArgs(col, val))
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +207,7 @@ func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string
 	}
 	// Load the first page of results.
 	for _, id := range ids[:shown] {
-		if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": id}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, keyArgs(nil, id)); err != nil {
 			return nil, err
 		}
 	}
@@ -192,14 +223,14 @@ func opSearchItemsByRegion(ctx context.Context, env *core.Env, call *core.Call) 
 }
 
 func opViewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	itemID, ok := core.Arg[int64](call, "item")
+	itemID, ok := argInt64(call, "item")
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	res, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID})
+	res, err := invokeEntity(ctx, env, call, EntItem, opLoad, keyArgs(nil, itemID))
 	if err != nil {
 		// Ended auctions move to OldItem.
-		old, oldErr := invokeEntity(ctx, env, call, OldItem, opLoad, map[string]any{"key": itemID})
+		old, oldErr := invokeEntity(ctx, env, call, OldItem, opLoad, keyArgs(nil, itemID))
 		if oldErr != nil {
 			return nil, err
 		}
@@ -212,15 +243,15 @@ func opViewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error
 }
 
 func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	userID, ok := core.Arg[int64](call, "user")
+	userID, ok := argInt64(call, "user")
 	if !ok || userID <= 0 {
 		userID = 1
 	}
-	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": userID})
+	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(nil, userID))
 	if err != nil {
 		return nil, err
 	}
-	fb, err := invokeEntity(ctx, env, call, UserFeedback, opByIndex, map[string]any{"col": "to_user", "val": userID})
+	fb, err := invokeEntity(ctx, env, call, UserFeedback, opByIndex, byIndexArgs("to_user", userID))
 	if err != nil {
 		return nil, err
 	}
@@ -230,11 +261,11 @@ func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, e
 }
 
 func opViewBidHistory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	itemID, ok := core.Arg[int64](call, "item")
+	itemID, ok := argInt64(call, "item")
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	keys, err := invokeEntity(ctx, env, call, EntBid, opByIndex, map[string]any{"col": "item", "val": itemID})
+	keys, err := invokeEntity(ctx, env, call, EntBid, opByIndex, byIndexArgs("item", itemID))
 	if err != nil {
 		return nil, err
 	}
@@ -246,11 +277,11 @@ func opMakeBid(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	itemID, ok := core.Arg[int64](call, "item")
+	itemID, ok := argInt64(call, "item")
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
+	if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, keyArgs(nil, itemID)); err != nil {
 		return nil, err
 	}
 	sess.Items = append(sess.Items, itemID)
@@ -270,7 +301,7 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 		return nil, errors.New("ebid: CommitBid: no item selected")
 	}
 	itemID := sess.Items[len(sess.Items)-1]
-	amount, ok := core.Arg[float64](call, "amount")
+	amount, ok := argFloat64(call, "amount")
 	if !ok || amount <= 0 {
 		amount = 1
 	}
@@ -279,7 +310,7 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 		return nil, err
 	}
 	err = func() error {
-		bidID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "bid", "tx": tx})
+		bidID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, kindArgs(tx, "bid"))
 		if err != nil {
 			return err
 		}
@@ -288,10 +319,10 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 			return fmt.Errorf("ebid: CommitBid: bad primary key %v", bidID)
 		}
 		row := db.Row{"user": sess.UserID, "item": itemID, "amount": amount}
-		if _, err := invokeEntity(ctx, env, call, EntBid, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, EntBid, opCreate, rowArgs(tx, id, row)); err != nil {
 			return err
 		}
-		itemRes, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
+		itemRes, err := invokeEntity(ctx, env, call, EntItem, opLoad, keyArgs(tx, itemID))
 		if err != nil {
 			return err
 		}
@@ -300,7 +331,7 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 			item["max_bid"] = amount
 		}
 		item["nb_bids"] = item["nb_bids"].(int64) + 1
-		_, err = invokeEntity(ctx, env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntItem, opUpdate, rowArgs(tx, itemID, item))
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -317,11 +348,11 @@ func opDoBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error
 	if err != nil {
 		return nil, err
 	}
-	itemID, ok := core.Arg[int64](call, "item")
+	itemID, ok := argInt64(call, "item")
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID}); err != nil {
+	if _, err := invokeEntity(ctx, env, call, EntItem, opLoad, keyArgs(nil, itemID)); err != nil {
 		return nil, err
 	}
 	sess.Items = append(sess.Items, itemID)
@@ -346,7 +377,7 @@ func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, e
 		return nil, err
 	}
 	err = func() error {
-		buyID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "buy", "tx": tx})
+		buyID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, kindArgs(tx, "buy"))
 		if err != nil {
 			return err
 		}
@@ -355,10 +386,10 @@ func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, e
 			return fmt.Errorf("ebid: CommitBuyNow: bad primary key %v", buyID)
 		}
 		row := db.Row{"user": sess.UserID, "item": itemID, "quantity": int64(1)}
-		if _, err := invokeEntity(ctx, env, call, BuyNow, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, BuyNow, opCreate, rowArgs(tx, id, row)); err != nil {
 			return err
 		}
-		itemRes, err := invokeEntity(ctx, env, call, EntItem, opLoad, map[string]any{"key": itemID, "tx": tx})
+		itemRes, err := invokeEntity(ctx, env, call, EntItem, opLoad, keyArgs(tx, itemID))
 		if err != nil {
 			return err
 		}
@@ -366,7 +397,7 @@ func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, e
 		if q := item["quantity"].(int64); q > 0 {
 			item["quantity"] = q - 1
 		}
-		_, err = invokeEntity(ctx, env, call, EntItem, opUpdate, map[string]any{"key": itemID, "row": item, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntItem, opUpdate, rowArgs(tx, itemID, item))
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -383,11 +414,11 @@ func opLeaveUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (a
 	if err != nil {
 		return nil, err
 	}
-	target, ok := core.Arg[int64](call, "user")
+	target, ok := argInt64(call, "user")
 	if !ok || target <= 0 {
 		target = 1
 	}
-	if _, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": target}); err != nil {
+	if _, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(nil, target)); err != nil {
 		return nil, err
 	}
 	sess.Data["fbTarget"] = fmt.Sprint(target)
@@ -410,7 +441,7 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 	if _, err := fmt.Sscan(targetStr, &target); err != nil || target <= 0 {
 		return nil, fmt.Errorf("ebid: CommitUserFeedback: bad target %q", targetStr)
 	}
-	rating, ok := core.Arg[int64](call, "rating")
+	rating, ok := argInt64(call, "rating")
 	if !ok || rating < -5 || rating > 5 {
 		rating = 1
 	}
@@ -419,7 +450,7 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 		return nil, err
 	}
 	err = func() error {
-		fbID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "fb", "tx": tx})
+		fbID, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, kindArgs(tx, "fb"))
 		if err != nil {
 			return err
 		}
@@ -428,16 +459,16 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 			return fmt.Errorf("ebid: CommitUserFeedback: bad primary key %v", fbID)
 		}
 		row := db.Row{"from_user": sess.UserID, "to_user": target, "rating": rating, "comment": "ok"}
-		if _, err := invokeEntity(ctx, env, call, UserFeedback, opCreate, map[string]any{"key": id, "row": row, "tx": tx}); err != nil {
+		if _, err := invokeEntity(ctx, env, call, UserFeedback, opCreate, rowArgs(tx, id, row)); err != nil {
 			return err
 		}
-		userRes, err := invokeEntity(ctx, env, call, EntUser, opLoad, map[string]any{"key": target, "tx": tx})
+		userRes, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(tx, target))
 		if err != nil {
 			return err
 		}
 		user := userRes.(db.Row)
 		user["rating"] = user["rating"].(int64) + rating
-		_, err = invokeEntity(ctx, env, call, EntUser, opUpdate, map[string]any{"key": target, "row": user, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntUser, opUpdate, rowArgs(tx, target, user))
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -449,7 +480,7 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 }
 
 func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
-	region, ok := core.Arg[int64](call, "region")
+	region, ok := argInt64(call, "region")
 	if !ok || region <= 0 {
 		region = 1
 	}
@@ -459,7 +490,7 @@ func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any
 	}
 	var newID int64
 	err = func() error {
-		idRes, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "user", "tx": tx})
+		idRes, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, kindArgs(tx, "user"))
 		if err != nil {
 			return err
 		}
@@ -474,7 +505,7 @@ func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any
 			"region":   region,
 			"balance":  float64(100),
 		}
-		_, err = invokeEntity(ctx, env, call, EntUser, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntUser, opCreate, rowArgs(tx, id, row))
 		return err
 	}()
 	if err := finish(err); err != nil {
@@ -502,7 +533,7 @@ func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any
 	if err != nil {
 		return nil, err
 	}
-	category, ok := core.Arg[int64](call, "category")
+	category, ok := argInt64(call, "category")
 	if !ok || category <= 0 {
 		category = 1
 	}
@@ -512,7 +543,7 @@ func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any
 	}
 	var newID int64
 	err = func() error {
-		idRes, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, map[string]any{"kind": "item", "tx": tx})
+		idRes, err := invokeEntity(ctx, env, call, IdentityManager, opNextID, kindArgs(tx, "item"))
 		if err != nil {
 			return err
 		}
@@ -531,7 +562,7 @@ func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any
 			"nb_bids":  int64(0),
 			"quantity": int64(1),
 		}
-		_, err = invokeEntity(ctx, env, call, EntItem, opCreate, map[string]any{"key": id, "row": row, "tx": tx})
+		_, err = invokeEntity(ctx, env, call, EntItem, opCreate, rowArgs(tx, id, row))
 		return err
 	}()
 	if err := finish(err); err != nil {

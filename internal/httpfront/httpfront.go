@@ -301,20 +301,49 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	args := map[string]any{}
+	// Decode query args onto the typed codec when every key is one it
+	// carries (the common case for the 25 eBid operations); otherwise fall
+	// back to a generic map so unknown keys still reach the component.
+	oa := &ebid.OpArgs{}
+	var args core.Args = oa
+	typed := true
 	for key, vals := range r.URL.Query() {
 		if len(vals) == 0 {
 			continue
 		}
-		if n, err := strconv.ParseInt(vals[0], 10, 64); err == nil {
-			args[key] = n
-			continue
+		if typed {
+			// "amount" historically parsed int-first into the generic
+			// map, where float64-reading ops miss it and fall back to
+			// their defaults; route integer amounts through the generic
+			// decoder so that behavior is unchanged.
+			intAmount := false
+			if key == "amount" {
+				_, err := strconv.ParseInt(vals[0], 10, 64)
+				intAmount = err == nil
+			}
+			if !intAmount && oa.SetString(key, vals[0]) {
+				continue
+			}
+			// Re-decode everything seen so far into the generic map.
+			typed = false
+			m := core.ArgMap{}
+			for k, v := range r.URL.Query() {
+				if len(v) == 0 {
+					continue
+				}
+				if n, err := strconv.ParseInt(v[0], 10, 64); err == nil {
+					m[k] = n
+					continue
+				}
+				if x, err := strconv.ParseFloat(v[0], 64); err == nil {
+					m[k] = x
+					continue
+				}
+				m[k] = v[0]
+			}
+			args = m
+			break
 		}
-		if x, err := strconv.ParseFloat(vals[0], 64); err == nil {
-			args[key] = x
-			continue
-		}
-		args[key] = vals[0]
 	}
 	ttl := f.RequestTTL
 	if ttl <= 0 {

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is a lock-free latency histogram: fixed log-spaced
+// buckets (four sub-buckets per power of two, ~19% relative resolution)
+// updated with a single atomic add per observation. Bucketing costs a
+// bits.Len64 and a shift — no floating point, no locking — so it is
+// cheap enough for the invocation hot path, unlike Histogram, whose
+// math.Log bucketing and mutex are fine for experiment reporting but not
+// for per-hop recording.
+type AtomicHistogram struct {
+	buckets [atomicHistSize]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+const (
+	atomicHistSub  = 4 // sub-buckets per power of two
+	atomicHistSize = 64 * atomicHistSub
+)
+
+// atomicBucket maps a non-negative value to its bucket index: values
+// below 4 get exact buckets; larger values index by the top bit (the
+// octave) refined by the next two bits (the quarter within it).
+func atomicBucket(v uint64) int {
+	if v < 4 {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	sub := (v >> uint(exp-2)) & 3
+	return exp*atomicHistSub + int(sub)
+}
+
+// atomicBucketUpper returns the largest value landing in bucket i. Only
+// meaningful for indexes atomicBucket can produce (i < 4 or i >= 8).
+func atomicBucketUpper(i int) int64 {
+	if i < 4 {
+		return int64(i)
+	}
+	exp := uint(i / atomicHistSub)
+	sub := uint64(i % atomicHistSub)
+	lower := uint64(1)<<exp + sub<<(exp-2)
+	return int64(lower + 1<<(exp-2) - 1)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[atomicBucket(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average observed duration.
+func (h *AtomicHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// observed durations, accurate to the bucket resolution. Concurrent
+// observations make the snapshot approximate, which is fine for the
+// monitoring uses this serves.
+func (h *AtomicHistogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= target {
+			return time.Duration(atomicBucketUpper(i))
+		}
+	}
+	return time.Duration(atomicBucketUpper(atomicHistSize - 1))
+}

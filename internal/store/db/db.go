@@ -218,15 +218,20 @@ func New(wal *WAL) *DB {
 // CreateTable registers a new table.
 func (d *DB) CreateTable(s Schema) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.crashed {
+		d.mu.Unlock()
 		return ErrCrashed
 	}
 	if _, ok := d.tables[s.Name]; ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDupTable, s.Name)
 	}
 	d.tables[s.Name] = newTable(s)
-	d.wal.append(walRecord{Kind: recCreateTable, Table: s.Name, Schema: &s})
+	wait := d.wal.append(walRecord{Kind: recCreateTable, Table: s.Name, Schema: &s})
+	d.mu.Unlock()
+	// Wait for the sink flush outside d.mu so concurrent commits can form
+	// a group behind this one.
+	wait.Wait()
 	return nil
 }
 

@@ -30,12 +30,9 @@ func (d *DB) Begin() (*Tx, error) {
 	if d.crashed {
 		return nil, ErrCrashed
 	}
-	tx := &Tx{
-		db:      d,
-		id:      d.nextTx,
-		locked:  map[string]map[int64]struct{}{},
-		overlay: map[string]map[int64]Row{},
-	}
+	// locked and overlay maps are created lazily on first write, so
+	// read-only transactions (the bulk of the workload) allocate neither.
+	tx := &Tx{db: d, id: d.nextTx}
 	d.nextTx++
 	d.openTxs[tx.id] = tx
 	return tx, nil
@@ -64,6 +61,9 @@ func (t *Tx) lock(tbl *table, tableName string, key int64) error {
 		return fmt.Errorf("%w: row %d of %s held by tx %d", ErrConflict, key, tableName, owner)
 	}
 	tbl.locks[key] = t.id
+	if t.locked == nil {
+		t.locked = map[string]map[int64]struct{}{}
+	}
 	set := t.locked[tableName]
 	if set == nil {
 		set = map[int64]struct{}{}
@@ -83,6 +83,9 @@ func (t *Tx) overlayGet(tableName string, key int64) (Row, bool) {
 }
 
 func (t *Tx) overlaySet(tableName string, key int64, r Row) {
+	if t.overlay == nil {
+		t.overlay = map[string]map[int64]Row{}
+	}
 	m := t.overlay[tableName]
 	if m == nil {
 		m = map[int64]Row{}
@@ -337,17 +340,23 @@ func sort64(s []int64) {
 }
 
 // Commit atomically applies the transaction's writes, appends them to the
-// WAL, and releases all locks.
+// WAL, and releases all locks. When the WAL mirrors to a sink, the sink
+// flush happens via group commit: this committer may ride another
+// commit's flush, and it waits for that flush only after releasing the
+// database lock, so concurrent commits coalesce instead of serializing
+// one flush each.
 func (t *Tx) Commit() error {
 	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
 	if err := t.guard(); err != nil {
+		t.db.mu.Unlock()
 		return err
 	}
 	t.done = true
 	delete(t.db.openTxs, t.id)
 	// Durability first: the WAL records the commit before tables mutate.
-	t.db.wal.appendCommit(t.id, t.writes)
+	// The in-memory log (what Recover replays) is written synchronously
+	// here; only the sink flush is deferred to the group.
+	wait := t.db.wal.appendCommit(t.id, t.writes)
 	for _, w := range t.writes {
 		tbl := t.db.tables[w.Table]
 		switch w.Kind {
@@ -366,6 +375,8 @@ func (t *Tx) Commit() error {
 	}
 	t.releaseLocks()
 	t.db.commits++
+	t.db.mu.Unlock()
+	wait.Wait()
 	return nil
 }
 
@@ -406,7 +417,7 @@ func (t *Tx) releaseLocks() {
 			}
 		}
 	}
-	t.locked = map[string]map[int64]struct{}{}
+	t.locked = nil
 }
 
 // AbortAll aborts every open transaction whose id is accepted by keep

@@ -1,9 +1,11 @@
 package db
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
+	"time"
 )
 
 // recKind enumerates WAL record kinds.
@@ -29,15 +31,52 @@ type walRecord struct {
 	TxID   uint64  `json:"tx,omitempty"`
 }
 
+// walBatch is one group commit: the records of every transaction that
+// staged while the previous flush was in flight, written to the sink as a
+// single buffered write. Staging happens under the same lock as appending
+// to the in-memory log, so a batch's records are always the contiguous
+// range [start, end) of that log — no copy needed. done is created lazily
+// by the first follower and closes once the batch is on the sink.
+type walBatch struct {
+	start, end int
+	done       chan struct{}
+}
+
 // WAL is an append-only write-ahead log. Records live in memory and are
 // optionally mirrored to an io.Writer as JSON lines for durability beyond
 // the process (the experiments use the in-memory form; cmd/ebid-server can
 // attach a file).
+//
+// Sink mirroring uses group commit: concurrent committers staging while a
+// flush is in flight coalesce into one batch, and the whole batch reaches
+// the sink with a single Write — one flush per batch instead of one per
+// transaction. The in-memory record list stays authoritative and is
+// appended synchronously under w.mu, so replay order always equals commit
+// order and Recover's semantics are unchanged; only the sink's flush
+// boundary moves.
 type WAL struct {
 	mu      sync.Mutex
 	records []walRecord
 	sink    io.Writer
+	// cur is the open batch the next stager joins; nil when the next
+	// stager should lead a new batch. free is a spent batch available for
+	// reuse (only batches no follower ever waited on). Guarded by mu.
+	cur  *walBatch
+	free *walBatch
+	// window, when positive, is how long a batch leader lingers before
+	// flushing so followers can pile in (group-commit window). Guarded by
+	// mu.
+	window time.Duration
+
+	// flushMu serializes sink flushes; buf and enc belong to the flusher.
+	flushMu sync.Mutex
+	buf     bytes.Buffer
 	enc     *json.Encoder
+
+	// group-commit stats, guarded by mu.
+	batches  uint64
+	flushed  uint64
+	maxBatch int
 }
 
 // NewWAL returns an in-memory WAL.
@@ -45,34 +84,149 @@ func NewWAL() *WAL { return &WAL{} }
 
 // NewWALWithSink returns a WAL that additionally mirrors every record to w.
 func NewWALWithSink(w io.Writer) *WAL {
-	return &WAL{sink: w, enc: json.NewEncoder(w)}
+	wal := &WAL{sink: w}
+	wal.enc = json.NewEncoder(&wal.buf)
+	return wal
 }
 
-func (w *WAL) append(rec walRecord) {
+// SetCommitWindow sets how long a group-commit leader waits for followers
+// before flushing to the sink. Zero (the default) flushes immediately;
+// batching then still happens whenever commits arrive while a flush is in
+// flight.
+func (w *WAL) SetCommitWindow(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.window = d
+}
+
+// GroupCommitStats reports sink batching: batches flushed, records
+// flushed, and the largest batch seen.
+func (w *WAL) GroupCommitStats() (batches, records uint64, maxBatch int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.batches, w.flushed, w.maxBatch
+}
+
+// walWait is a pending sink flush: the staged batch plus this staffer's
+// role in it. The zero value waits for nothing, so the no-sink path needs
+// no branch at the call sites. A value type — handing it back costs no
+// allocation, unlike a wait closure.
+type walWait struct {
+	w      *WAL
+	b      *walBatch
+	leader bool
+}
+
+// Wait blocks until the staged records reach the sink — the batch leader
+// performs the flush, followers ride it. Callers must not hold database
+// locks (that is what lets concurrent commits pile into the batch).
+func (ww walWait) Wait() {
+	if ww.b == nil {
+		return
+	}
+	if ww.leader {
+		ww.w.flushBatch(ww.b)
+		return
+	}
+	<-ww.b.done
+}
+
+// append logs one record. The returned walWait blocks until the record
+// reaches the sink (no-op when there is no sink); callers must invoke it
+// without holding database locks.
+func (w *WAL) append(rec walRecord) walWait {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.records = append(w.records, rec)
-	if w.enc != nil {
-		_ = w.enc.Encode(rec) // mirroring is best-effort; memory copy is authoritative
+	if w.sink == nil {
+		return walWait{}
 	}
+	return w.stageLocked(1)
 }
 
 // appendCommit writes a transaction's mutations followed by a commit mark,
-// as one atomic group.
-func (w *WAL) appendCommit(txID uint64, writes []walRecord) {
+// as one atomic group. The returned walWait is as for append.
+func (w *WAL) appendCommit(txID uint64, writes []walRecord) walWait {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, rec := range writes {
 		rec.TxID = txID
 		w.records = append(w.records, rec)
-		if w.enc != nil {
-			_ = w.enc.Encode(rec)
-		}
 	}
-	mark := walRecord{Kind: recCommitMark, TxID: txID}
-	w.records = append(w.records, mark)
-	if w.enc != nil {
-		_ = w.enc.Encode(mark)
+	w.records = append(w.records, walRecord{Kind: recCommitMark, TxID: txID})
+	if w.sink == nil {
+		return walWait{}
+	}
+	return w.stageLocked(len(writes) + 1)
+}
+
+// stageLocked queues the last n in-memory records for the sink. Caller
+// holds w.mu. The first stager after a seal leads the batch (its Wait
+// performs the flush); later stagers join and their Waits just block on
+// the leader. Batch order equals staging order, so the sink's record
+// order always matches the in-memory log.
+func (w *WAL) stageLocked(n int) walWait {
+	if b := w.cur; b != nil {
+		b.end = len(w.records)
+		if b.done == nil {
+			b.done = make(chan struct{})
+		}
+		return walWait{w: w, b: b}
+	}
+	b := w.free
+	if b == nil {
+		b = &walBatch{}
+	}
+	w.free = nil
+	b.start = len(w.records) - n
+	b.end = len(w.records)
+	b.done = nil
+	w.cur = b
+	w.batches++
+	return walWait{w: w, b: b, leader: true}
+}
+
+// flushBatch is the leader's wait: linger for the commit window, seal the
+// batch, and push it to the sink in one write. flushMu makes flushes
+// strictly sequential, so a new leader formed during this flush cannot
+// overtake it.
+func (w *WAL) flushBatch(b *walBatch) {
+	w.mu.Lock()
+	window := w.window
+	w.mu.Unlock()
+	if window > 0 {
+		time.Sleep(window)
+	}
+	w.flushMu.Lock()
+	// Seal: stagers from here on start the next batch. No follower can
+	// join after this point, so b's range and done channel are final.
+	w.mu.Lock()
+	if w.cur == b {
+		w.cur = nil
+	}
+	recs := w.records[b.start:b.end]
+	done := b.done
+	w.mu.Unlock()
+	for i := range recs {
+		_ = w.enc.Encode(recs[i]) // mirroring is best-effort; memory copy is authoritative
+	}
+	if w.buf.Len() > 0 {
+		_, _ = w.sink.Write(w.buf.Bytes())
+		w.buf.Reset()
+	}
+	w.flushMu.Unlock()
+	w.mu.Lock()
+	w.flushed += uint64(len(recs))
+	if len(recs) > w.maxBatch {
+		w.maxBatch = len(recs)
+	}
+	if done == nil {
+		// Nobody but this leader ever referenced b; recycle it.
+		w.free = b
+	}
+	w.mu.Unlock()
+	if done != nil {
+		close(done)
 	}
 }
 

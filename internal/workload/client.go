@@ -62,7 +62,7 @@ func (c *client) step() {
 
 // nextOp implements the Markov chain. Weights are tuned so the
 // steady-state mix reproduces Table 1 (verified by TestTable1Mix).
-func (c *client) nextOp() (string, map[string]any) {
+func (c *client) nextOp() (string, core.Args) {
 	rng := c.e.kernel.Rand()
 	switch c.phase {
 	case phaseStart:
@@ -77,20 +77,20 @@ func (c *client) nextOp() (string, map[string]any) {
 	case phaseLogin:
 		c.phase = phaseBrowsing
 		if rng.Float64() < 0.13 {
-			return ebid.RegisterNewUser, map[string]any{"region": c.randRegion()}
+			return ebid.RegisterNewUser, &ebid.OpArgs{Region: c.randRegion()}
 		}
-		return ebid.Authenticate, map[string]any{"user": c.randUser()}
+		return ebid.Authenticate, &ebid.OpArgs{User: c.randUser()}
 	case phaseFlow:
 		op := c.pending
 		c.pending = ""
 		c.phase = phaseBrowsing
 		switch op {
 		case ebid.CommitBid:
-			return op, map[string]any{"amount": float64(1 + rng.Intn(500))}
+			return op, &ebid.OpArgs{Amount: float64(1 + rng.Intn(500))}
 		case ebid.CommitUserFeedback:
-			return op, map[string]any{"rating": int64(rng.Intn(11) - 5)}
+			return op, &ebid.OpArgs{Rating: int64(rng.Intn(11) - 5), HasRating: true}
 		case ebid.RegisterNewItem:
-			return op, map[string]any{"category": c.randCategory()}
+			return op, &ebid.OpArgs{Category: c.randCategory()}
 		default:
 			return op, nil
 		}
@@ -119,31 +119,31 @@ func (c *client) nextOp() (string, map[string]any) {
 		case y < 0.32:
 			return ebid.BrowseRegions, nil
 		case y < 0.66:
-			return ebid.ViewItem, map[string]any{"item": c.randItem()}
+			return ebid.ViewItem, &ebid.OpArgs{Item: c.randItem()}
 		case y < 0.78:
-			return ebid.ViewUserInfo, map[string]any{"user": c.randUser()}
+			return ebid.ViewUserInfo, &ebid.OpArgs{User: c.randUser()}
 		case y < 0.88:
-			return ebid.ViewBidHistory, map[string]any{"item": c.randItem()}
+			return ebid.ViewBidHistory, &ebid.OpArgs{Item: c.randItem()}
 		default:
 			return ebid.AboutMe, nil
 		}
 	case x < 0.13+0.46+0.19: // search
 		if rng.Float64() < 0.6 {
-			return ebid.SearchItemsByCategory, map[string]any{"category": c.randCategory()}
+			return ebid.SearchItemsByCategory, &ebid.OpArgs{Category: c.randCategory()}
 		}
-		return ebid.SearchItemsByRegion, map[string]any{"region": c.randRegion()}
+		return ebid.SearchItemsByRegion, &ebid.OpArgs{Region: c.randRegion()}
 	case x < 0.13+0.46+0.19+0.09: // bid flow
 		c.phase = phaseFlow
 		c.pending = ebid.CommitBid
-		return ebid.MakeBid, map[string]any{"item": c.randItem()}
+		return ebid.MakeBid, &ebid.OpArgs{Item: c.randItem()}
 	case x < 0.13+0.46+0.19+0.09+0.04: // buy flow
 		c.phase = phaseFlow
 		c.pending = ebid.CommitBuyNow
-		return ebid.DoBuyNow, map[string]any{"item": c.randItem()}
+		return ebid.DoBuyNow, &ebid.OpArgs{Item: c.randItem()}
 	case x < 0.13+0.46+0.19+0.09+0.04+0.04: // feedback flow
 		c.phase = phaseFlow
 		c.pending = ebid.CommitUserFeedback
-		return ebid.LeaveUserFeedback, map[string]any{"user": c.randUser()}
+		return ebid.LeaveUserFeedback, &ebid.OpArgs{User: c.randUser()}
 	case x < 0.13+0.46+0.19+0.09+0.04+0.04+0.02: // sell flow
 		c.phase = phaseFlow
 		c.pending = ebid.RegisterNewItem
@@ -159,7 +159,7 @@ func (c *client) randCategory() int64 { return 1 + c.e.kernel.Rand().Int63n(c.e.
 func (c *client) randRegion() int64   { return 1 + c.e.kernel.Rand().Int63n(c.e.cfg.Regions) }
 
 // issue submits the op to the frontend.
-func (c *client) issue(op string, args map[string]any) {
+func (c *client) issue(op string, args core.Args) {
 	c.inFlight = true
 	c.e.issued++
 	issued := c.e.kernel.Now()
