@@ -30,13 +30,29 @@
 // replayed against a known-good shadow instance and any discrepancy is
 // published on the bus. A lease reaper garbage-collects lapsed sessions
 // on the SSM stores every -reap-interval.
+//
+// As a supervised fleet member (spawned by cmd/ebid-proxy or
+// internal/fleet.Supervisor) the server is a well-behaved crash-only
+// child: /healthz answers once it is serving, SIGTERM/SIGINT drain
+// in-flight requests up to -drain-timeout and flush the WAL before
+// exit, and startup against an existing -wal file recovers all
+// committed state instead of truncating it — a SIGKILL + re-exec
+// "node reboot" loses nothing that was committed.
+//
+// Exit-code contract (what a supervisor sees): 0 = graceful drain
+// completed; 2 = drain deadline exceeded (connections force-closed, WAL
+// still flushed); anything else, or death by signal, is a crash.
 package main
 
 import (
+	"context"
 	"flag"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/controlplane"
@@ -47,8 +63,19 @@ import (
 	"repro/internal/store/session"
 )
 
+// Exit codes of the drain contract.
+const (
+	exitGraceful    = 0
+	exitDrainForced = 2
+)
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	nodeName := flag.String("node", "", "fleet identity reported on /healthz and /admin/fleet/status (default http0)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long SIGTERM/SIGINT waits for in-flight requests before force-closing")
+	degrade := flag.Duration("degrade", 0,
+		"stall every operation by this much (a deliberately degraded replica for routing experiments)")
 	storeKind := flag.String("store", "fasts", "session store: fasts, ssm or ssm-cluster")
 	shards := flag.Int("shards", 4, "ssm-cluster: hash shards S")
 	replicas := flag.Int("replicas", 3, "ssm-cluster: brick replicas N per shard")
@@ -74,21 +101,55 @@ func main() {
 		"comparison detector: replay 1 in N idempotent operations against a known-good shadow instance and publish discrepancies (0 disables)")
 	flag.Parse()
 
+	// Crash-safe startup against the WAL: an existing non-empty log file
+	// means a previous incarnation of this node committed state — replay
+	// it (truncating any torn tail from a crash mid-flush) instead of
+	// truncating the file, so a SIGKILL + re-exec recovers everything
+	// that was committed. A fresh or empty file gets the seed dataset.
 	var wal *db.WAL
+	var walFile *os.File
+	recovered := false
 	if *walPath != "" {
-		fh, err := os.Create(*walPath)
+		fh, err := os.OpenFile(*walPath, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			log.Fatalf("wal: %v", err)
 		}
-		defer fh.Close()
-		wal = db.NewWALWithSink(fh)
+		walFile = fh
+		loaded, offset, err := db.LoadWAL(fh)
+		if err != nil {
+			log.Fatalf("wal: reading %s: %v", *walPath, err)
+		}
+		if loaded.Len() > 0 {
+			if err := fh.Truncate(offset); err != nil {
+				log.Fatalf("wal: truncating torn tail: %v", err)
+			}
+			if _, err := fh.Seek(0, io.SeekEnd); err != nil {
+				log.Fatalf("wal: %v", err)
+			}
+			wal = loaded
+			recovered = true
+			log.Printf("wal: recovering %d records from %s", loaded.Len(), *walPath)
+		}
 	}
-	database := db.New(wal)
-	cfg := ebid.DefaultDataset()
-	cfg.Users, cfg.Items = *users, *items
-	log.Printf("loading dataset: %d users, %d items", cfg.Users, cfg.Items)
-	if err := ebid.LoadDataset(database, cfg); err != nil {
-		log.Fatalf("dataset: %v", err)
+	var database *db.DB
+	if recovered {
+		database = db.New(wal)
+		if err := database.Recover(); err != nil {
+			log.Fatalf("wal recovery: %v", err)
+		}
+		wal.AttachSink(walFile)
+		log.Printf("recovered %d tables from the WAL; skipping dataset load", len(database.Tables()))
+	} else {
+		if walFile != nil {
+			wal = db.NewWALWithSink(walFile)
+		}
+		database = db.New(wal)
+		cfg := ebid.DefaultDataset()
+		cfg.Users, cfg.Items = *users, *items
+		log.Printf("loading dataset: %d users, %d items", cfg.Users, cfg.Items)
+		if err := ebid.LoadDataset(database, cfg); err != nil {
+			log.Fatalf("dataset: %v", err)
+		}
 	}
 
 	start := time.Now()
@@ -140,6 +201,11 @@ func main() {
 	}
 	front := httpfront.New(app)
 	front.Cluster = cl
+	front.Node = *nodeName
+	front.Degrade = *degrade
+	if *degrade > 0 {
+		log.Printf("degraded replica: stalling every operation by %v", *degrade)
+	}
 	front.ShedWatermark = *shedWatermark
 	if *shedWatermark > 0 {
 		log.Printf("admission control: shedding new sessions past %d in-flight requests", *shedWatermark)
@@ -228,8 +294,44 @@ func main() {
 	}
 
 	front.Plane = plane
-	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, front.Handler()))
+	srv := &http.Server{Addr: *addr, Handler: front.Handler()}
+
+	// Graceful drain: SIGTERM/SIGINT stop the listener, let in-flight
+	// requests finish up to -drain-timeout, flush the WAL, and exit with
+	// the drain contract's code — so a supervisor can tell a clean drain
+	// (0), a forced one (2), and a crash (anything else) apart.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan int, 1)
+	go func() {
+		sig := <-sigCh
+		log.Printf("%v: draining (deadline %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		code := exitGraceful
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain deadline exceeded, force-closing: %v", err)
+			srv.Close()
+			code = exitDrainForced
+		}
+		done <- code
+	}()
+
+	log.Printf("serving on %s (node %s, pid %d)", *addr, front.FleetStats()[0].Node, os.Getpid())
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("serve: %v", err)
+	}
+	code := <-done
+	if walFile != nil {
+		// The WAL's group commit writes through on every batch; Sync
+		// pushes the OS cache to disk so the drained state is durable.
+		if err := walFile.Sync(); err != nil {
+			log.Printf("wal sync: %v", err)
+		}
+		walFile.Close()
+	}
+	log.Printf("drained; exiting %d", code)
+	os.Exit(code)
 }
 
 // clusterOrNil avoids the typed-nil interface trap when no brick cluster

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -32,6 +34,9 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "run scenario spec(s): a .toml file or a directory of them")
 	matrix := flag.Bool("matrix", false, "also run the builtin fault × store × routing scenario matrix")
 	matrixOut := flag.String("matrix-out", "", "write the campaign pass/fail matrix as JSON to this file")
+	fleetExec := flag.Bool("fleet-exec", false,
+		"run the fleet routing experiment over real ebid-server OS processes behind the reverse proxy, then exit")
+	fleetBin := flag.String("fleet-bin", "", "ebid-server binary for -fleet-exec (default: look beside this binary, PATH, then go build)")
 	flag.Parse()
 	switch *clusterStore {
 	case "fasts", "ssm", "ssm-cluster":
@@ -54,6 +59,9 @@ func main() {
 	if *list {
 		listAll()
 		return
+	}
+	if *fleetExec {
+		os.Exit(runFleetExec(o, *fleetBin))
 	}
 	if *scenarioPath != "" || *matrix {
 		os.Exit(runScenarios(o, *scenarioPath, *matrix, *matrixOut))
@@ -242,4 +250,66 @@ func runScenarios(o experiments.Options, path string, matrix bool, out string) i
 		return 1
 	}
 	return 0
+}
+
+// runFleetExec resolves an ebid-server binary and runs the routing
+// experiment over real OS processes.
+func runFleetExec(o experiments.Options, bin string) int {
+	resolved, cleanup, err := resolveServerBin(bin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer cleanup()
+	section("Fleet routing (OS processes)")
+	res, err := experiments.FigureFleetExec(o, resolved)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-exec:", err)
+		return 1
+	}
+	fmt.Println(res)
+	if res.RoundRobin.Estab5xx+res.Routed.Estab5xx > 0 {
+		fmt.Fprintf(os.Stderr, "fleet-exec: %d established sessions saw 5xx\n",
+			res.RoundRobin.Estab5xx+res.Routed.Estab5xx)
+		return 1
+	}
+	if res.Routed.LostSessions > 0 {
+		fmt.Fprintf(os.Stderr, "fleet-exec: %d sessions lost\n", res.Routed.LostSessions)
+		return 1
+	}
+	return 0
+}
+
+// resolveServerBin finds (or builds) the ebid-server binary: the
+// explicit path, a sibling of this executable, PATH, then go build into
+// a temp dir (cleaned up by the returned func).
+func resolveServerBin(explicit string) (string, func(), error) {
+	nop := func() {}
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", nop, fmt.Errorf("-fleet-bin %s: %w", explicit, err)
+		}
+		return explicit, nop, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "ebid-server")
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nop, nil
+		}
+	}
+	if p, err := exec.LookPath("ebid-server"); err == nil {
+		return p, nop, nil
+	}
+	dir, err := os.MkdirTemp("", "fleet-bin-")
+	if err != nil {
+		return "", nop, err
+	}
+	out := filepath.Join(dir, "ebid-server")
+	cmd := exec.Command("go", "build", "-o", out, "repro/cmd/ebid-server")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.RemoveAll(dir)
+		return "", nop, fmt.Errorf("building ebid-server: %w (pass -fleet-bin)", err)
+	}
+	return out, func() { os.RemoveAll(dir) }, nil
 }

@@ -1,10 +1,18 @@
-// Command loadgen drives a running ebid-server with the paper's client
-// workload over real HTTP: emulated users walking the Markov chain of
-// Table 1, with client-side failure detection and a live Taw readout.
+// Command loadgen drives a running ebid-server (or an ebid-proxy fleet)
+// with the paper's client workload over real HTTP: emulated users
+// walking the Markov chain of Table 1, with client-side failure
+// detection and a live Taw readout.
+//
+// The client behaves crash-only: a 401 means its session lapsed (the
+// backend process died and took the session store with it), so it logs
+// in again and repeats the operation; a 503 + Retry-After is admission
+// control, honored by waiting. Neither is a failure. A plain 5xx to an
+// established session IS a failure — with -fail-established-5xx the
+// exit code makes that a CI-enforceable contract.
 //
 // Usage:
 //
-//	loadgen [-url http://localhost:8080] [-clients 50] [-duration 30s] [-think 500ms]
+//	loadgen [-url http://localhost:8080] [-clients 50] [-duration 30s] [-think 500ms] [-fail-established-5xx]
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/cookiejar"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,23 +32,34 @@ import (
 	"repro/internal/ebid"
 )
 
+// counters aggregates client-observed outcomes across all emulated users.
+type counters struct {
+	good     atomic.Int64 // 200s with sane bodies
+	bad      atomic.Int64 // failures the user saw
+	retried  atomic.Int64 // 503 + Retry-After honored (admission control)
+	relogins atomic.Int64 // 401 session lapses answered by logging in again
+	estab5xx atomic.Int64 // 5xx (not shedding) on an established session — the fleet contract violation
+}
+
 func main() {
-	base := flag.String("url", "http://localhost:8080", "ebid-server base URL")
+	base := flag.String("url", "http://localhost:8080", "ebid-server or ebid-proxy base URL")
 	clients := flag.Int("clients", 50, "concurrent emulated users")
 	duration := flag.Duration("duration", 30*time.Second, "run length")
 	think := flag.Duration("think", 500*time.Millisecond, "mean think time (paper: 7s)")
 	users := flag.Int64("users", 250, "dataset user-id range")
 	items := flag.Int64("items", 3300, "dataset item-id range")
+	failEstab := flag.Bool("fail-established-5xx", false,
+		"exit 1 if any established session receives a 5xx other than admission-control shedding")
 	flag.Parse()
 
-	var good, bad, retried atomic.Int64
+	var c counters
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for i := 0; i < *clients; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			runClient(id, *base, deadline, *think, *users, *items, &good, &bad, &retried)
+			runClient(id, *base, deadline, *think, *users, *items, &c)
 		}(i)
 	}
 	done := make(chan struct{})
@@ -49,9 +69,15 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			log.Printf("good=%d bad=%d retried=%d", good.Load(), bad.Load(), retried.Load())
+			log.Printf("good=%d bad=%d retried=%d relogins=%d estab5xx=%d",
+				c.good.Load(), c.bad.Load(), c.retried.Load(), c.relogins.Load(), c.estab5xx.Load())
 		case <-done:
-			fmt.Printf("final: good=%d bad=%d retried=%d\n", good.Load(), bad.Load(), retried.Load())
+			fmt.Printf("final: good=%d bad=%d retried=%d relogins=%d estab5xx=%d\n",
+				c.good.Load(), c.bad.Load(), c.retried.Load(), c.relogins.Load(), c.estab5xx.Load())
+			if *failEstab && c.estab5xx.Load() > 0 {
+				fmt.Printf("FAIL: %d established sessions saw 5xx\n", c.estab5xx.Load())
+				os.Exit(1)
+			}
 			return
 		}
 	}
@@ -59,7 +85,7 @@ func main() {
 
 // runClient walks a simplified session loop: login, browse/bid, logout.
 func runClient(id int, base string, deadline time.Time, think time.Duration,
-	users, items int64, good, bad, retried *atomic.Int64) {
+	users, items int64, c *counters) {
 	rng := rand.New(rand.NewSource(int64(id) + 1))
 	jar, err := cookiejar.New(nil)
 	if err != nil {
@@ -67,42 +93,75 @@ func runClient(id int, base string, deadline time.Time, think time.Duration,
 	}
 	hc := &http.Client{Jar: jar, Timeout: 30 * time.Second}
 
-	get := func(op string, query string) bool {
+	established := false
+	curUser := int64(1)
+
+	fetch := func(op string, query string) (*http.Response, []byte, bool) {
 		url := base + "/ebid/" + op
 		if query != "" {
 			url += "?" + query
 		}
-		for attempt := 0; attempt < 3; attempt++ {
-			resp, err := hc.Get(url)
-			if err != nil {
-				bad.Add(1)
+		resp, err := hc.Get(url)
+		if err != nil {
+			return nil, nil, false
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body, true
+	}
+
+	get := func(op string, query string) bool {
+		for attempt := 0; attempt < 4; attempt++ {
+			resp, body, ok := fetch(op, query)
+			if !ok {
+				c.bad.Add(1)
 				return false
 			}
-			body, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusServiceUnavailable {
-				// Honor Retry-After: the transparent retry of §6.2.
-				retried.Add(1)
+			if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+				// Admission control: honor Retry-After (§6.2's retry).
+				c.retried.Add(1)
 				wait := time.Second
-				if ra := resp.Header.Get("Retry-After"); ra != "" {
-					var secs int
-					if _, err := fmt.Sscan(ra, &secs); err == nil && secs > 0 {
-						wait = time.Duration(secs) * time.Second
-					}
+				var secs int
+				if _, err := fmt.Sscan(resp.Header.Get("Retry-After"), &secs); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
 				}
 				time.Sleep(wait)
 				continue
 			}
+			if resp.StatusCode == http.StatusUnauthorized {
+				// Session lapse: the crash-only answer is to log in
+				// again and repeat the operation, transparently to the
+				// "user".
+				c.relogins.Add(1)
+				established = false
+				if op == ebid.Authenticate {
+					c.bad.Add(1)
+					return false
+				}
+				if r2, _, ok2 := fetch(ebid.Authenticate, fmt.Sprintf("user=%d", curUser)); ok2 && r2.StatusCode == http.StatusOK {
+					established = true
+					continue
+				}
+				c.bad.Add(1)
+				return false
+			}
+			if resp.StatusCode >= 500 {
+				if established {
+					c.estab5xx.Add(1)
+				}
+				c.bad.Add(1)
+				return false
+			}
 			lower := strings.ToLower(string(body))
 			if resp.StatusCode != 200 || strings.Contains(lower, "exception") ||
 				strings.Contains(lower, "error") || strings.Contains(lower, "failed") {
-				bad.Add(1)
+				c.bad.Add(1)
 				return false
 			}
-			good.Add(1)
+			c.good.Add(1)
 			return true
 		}
-		bad.Add(1)
+		c.bad.Add(1)
 		return false
 	}
 	pause := func() {
@@ -116,7 +175,10 @@ func runClient(id int, base string, deadline time.Time, think time.Duration,
 	for time.Now().Before(deadline) {
 		get(ebid.OpHome, "")
 		pause()
-		get(ebid.Authenticate, fmt.Sprintf("user=%d", 1+rng.Int63n(users)))
+		curUser = 1 + rng.Int63n(users)
+		if get(ebid.Authenticate, fmt.Sprintf("user=%d", curUser)) {
+			established = true
+		}
 		pause()
 		for i := 0; i < 3+rng.Intn(5) && time.Now().Before(deadline); i++ {
 			switch rng.Intn(5) {
@@ -137,6 +199,7 @@ func runClient(id int, base string, deadline time.Time, think time.Duration,
 			pause()
 		}
 		get(ebid.OpLogout, "")
+		established = false
 		pause()
 	}
 }

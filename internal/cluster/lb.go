@@ -14,23 +14,36 @@ import (
 	"repro/internal/workload"
 )
 
-// RoutingPolicy decides which node serves a request the affinity map
+// Endpoint is the load view a routing policy sees of one routable
+// target. In-process simulation nodes (*Node) and the reverse proxy's
+// remote backends (fleet.Backend, whose gauges come from polling each
+// process's /admin/fleet/status) both implement it, so the same policy
+// implementations route goroutine fleets and real OS-process fleets.
+type Endpoint interface {
+	// QueueDepth is how many requests are waiting for a worker (for a
+	// remote backend: queued at the proxy).
+	QueueDepth() int
+	// Busy is how many requests are executing right now.
+	Busy() int
+}
+
+// RoutingPolicy decides which endpoint serves a request the affinity map
 // does not already pin. Policies are invoked OUTSIDE the balancer's lock
 // (so routing hot paths never serialize on it) and may be called
 // concurrently — implementations must be concurrency-safe. Candidate
-// slices are the healthy nodes, or every node when none is healthy (the
-// fallback path: the request must reach some node to fail honestly);
-// they are only valid for the duration of the call.
+// slices are the healthy endpoints, or every endpoint when none is
+// healthy (the fallback path: the request must reach some node to fail
+// honestly); they are only valid for the duration of the call.
 type RoutingPolicy interface {
 	Name() string
-	// RouteNew picks the node for a request with no session affinity. A
-	// non-nil error rejects the request instead (admission control); no
-	// node is charged.
-	RouteNew(req *workload.Request, cands []*Node) (*Node, error)
+	// RouteNew picks the endpoint for a request with no session
+	// affinity. A non-nil error rejects the request instead (admission
+	// control); no endpoint is charged.
+	RouteNew(req *workload.Request, cands []Endpoint) (Endpoint, error)
 	// RouteSpill picks the failover target for an established session
-	// redirected away from its draining or down affinity node.
+	// redirected away from its draining or down affinity endpoint.
 	// Established sessions are never shed, so spill cannot fail.
-	RouteSpill(req *workload.Request, cands []*Node) *Node
+	RouteSpill(req *workload.Request, cands []Endpoint) Endpoint
 }
 
 // RoundRobinPolicy is the paper's static discipline: even distribution
@@ -49,12 +62,12 @@ func NewRoundRobin() *RoundRobinPolicy { return &RoundRobinPolicy{} }
 func (p *RoundRobinPolicy) Name() string { return "round-robin" }
 
 // RouteNew implements RoutingPolicy.
-func (p *RoundRobinPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
+func (p *RoundRobinPolicy) RouteNew(req *workload.Request, cands []Endpoint) (Endpoint, error) {
 	return cands[int((p.rrNew.Add(1)-1)%uint64(len(cands)))], nil
 }
 
 // RouteSpill implements RoutingPolicy.
-func (p *RoundRobinPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
+func (p *RoundRobinPolicy) RouteSpill(req *workload.Request, cands []Endpoint) Endpoint {
 	return cands[int((p.rrSpill.Add(1)-1)%uint64(len(cands)))]
 }
 
@@ -68,7 +81,7 @@ type LeastLoadedPolicy struct{}
 // Name implements RoutingPolicy.
 func (LeastLoadedPolicy) Name() string { return "least-loaded" }
 
-func leastLoaded(cands []*Node) *Node {
+func leastLoaded(cands []Endpoint) Endpoint {
 	best := cands[0]
 	bestLoad := best.QueueDepth() + best.Busy()
 	for _, n := range cands[1:] {
@@ -80,12 +93,12 @@ func leastLoaded(cands []*Node) *Node {
 }
 
 // RouteNew implements RoutingPolicy.
-func (LeastLoadedPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
+func (LeastLoadedPolicy) RouteNew(req *workload.Request, cands []Endpoint) (Endpoint, error) {
 	return leastLoaded(cands), nil
 }
 
 // RouteSpill implements RoutingPolicy.
-func (LeastLoadedPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
+func (LeastLoadedPolicy) RouteSpill(req *workload.Request, cands []Endpoint) Endpoint {
 	return leastLoaded(cands)
 }
 
@@ -128,15 +141,16 @@ func (p *SheddingPolicy) retryAfter() time.Duration {
 	return p.RetryAfter
 }
 
-// isLoginOp reports whether op establishes a session (the affinity-
-// assigning set).
-func isLoginOp(op string) bool {
+// IsLoginOp reports whether op establishes a session (the affinity-
+// assigning set). Exported so the reverse proxy's router classifies
+// requests the same way the in-process balancer does.
+func IsLoginOp(op string) bool {
 	return op == ebid.Authenticate || op == ebid.RegisterNewUser || op == ebid.OpHome
 }
 
 // RouteNew implements RoutingPolicy.
-func (p *SheddingPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, error) {
-	if isLoginOp(req.Op) {
+func (p *SheddingPolicy) RouteNew(req *workload.Request, cands []Endpoint) (Endpoint, error) {
+	if IsLoginOp(req.Op) {
 		past := 0
 		for _, n := range cands {
 			if n.QueueDepth() > p.watermark() {
@@ -151,7 +165,7 @@ func (p *SheddingPolicy) RouteNew(req *workload.Request, cands []*Node) (*Node, 
 }
 
 // RouteSpill implements RoutingPolicy.
-func (p *SheddingPolicy) RouteSpill(req *workload.Request, cands []*Node) *Node {
+func (p *SheddingPolicy) RouteSpill(req *workload.Request, cands []Endpoint) Endpoint {
 	return p.Inner.RouteSpill(req, cands)
 }
 
@@ -333,17 +347,19 @@ func (lb *LoadBalancer) AffinitySize() int {
 func (lb *LoadBalancer) AffinityPruned() int64 { return lb.pruned.Load() }
 
 // candPool recycles candidate buffers so steady-state routing does not
-// allocate. Buffers start at 16 slots and grow with the fleet.
+// allocate. Buffers start at 16 slots and grow with the fleet. The
+// elements are Endpoint interface values, but a *Node stored in one is a
+// bare pointer word — no per-route boxing allocation.
 var candPool = sync.Pool{New: func() any {
-	b := make([]*Node, 0, 16)
+	b := make([]Endpoint, 0, 16)
 	return &b
 }}
 
 // healthyInto fills a pooled buffer with the nodes that are neither down
 // nor draining. Callers hold lb.mu (read suffices) and must return the
 // buffer with putCands once the policy call is over.
-func (lb *LoadBalancer) healthyInto() *[]*Node {
-	buf := candPool.Get().(*[]*Node)
+func (lb *LoadBalancer) healthyInto() *[]Endpoint {
+	buf := candPool.Get().(*[]Endpoint)
 	*buf = (*buf)[:0]
 	for _, n := range lb.nodes {
 		if !n.Down() && !lb.draining[n] {
@@ -353,7 +369,7 @@ func (lb *LoadBalancer) healthyInto() *[]*Node {
 	return buf
 }
 
-func putCands(buf *[]*Node) {
+func putCands(buf *[]Endpoint) {
 	for i := range *buf {
 		(*buf)[i] = nil
 	}
@@ -395,7 +411,7 @@ func (lb *LoadBalancer) Route(req *workload.Request) (*Node, error) {
 			lb.movedMu.Lock()
 			lb.sessionsMoved[req.SessionID] = true
 			lb.movedMu.Unlock()
-			spill := policy.RouteSpill(req, *good)
+			spill := policy.RouteSpill(req, *good).(*Node)
 			putCands(good)
 			return spill, nil
 		}
@@ -406,18 +422,20 @@ func (lb *LoadBalancer) Route(req *workload.Request) (*Node, error) {
 	// policy says; if no node is healthy, any node takes the failure.
 	buf := lb.healthyInto()
 	lb.mu.RUnlock()
-	cands := *buf
-	if len(cands) == 0 {
+	if len(*buf) == 0 {
 		// lb.nodes is fixed at construction, safe to read unlocked.
-		cands = lb.nodes
+		for _, n := range lb.nodes {
+			*buf = append(*buf, n)
+		}
 	}
-	n, err := policy.RouteNew(req, cands)
+	picked, err := policy.RouteNew(req, *buf)
 	putCands(buf)
 	if err != nil {
 		lb.shed.Add(1)
 		return nil, err
 	}
-	if isLoginOp(req.Op) {
+	n := picked.(*Node)
+	if IsLoginOp(req.Op) {
 		lb.mu.Lock()
 		lb.affinity[req.SessionID] = n
 		lb.mu.Unlock()

@@ -128,8 +128,8 @@ func TestLoginLogout(t *testing.T) {
 	}
 	// Session ops now fail with the not-logged-in symptom.
 	_, err := app.Execute(context.Background(), &core.Call{Op: AboutMe, SessionID: "s1"})
-	if err == nil || !errors.Is(err, errNotLoggedIn) {
-		t.Fatalf("AboutMe after logout err = %v, want errNotLoggedIn", err)
+	if err == nil || !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("AboutMe after logout err = %v, want ErrNotLoggedIn", err)
 	}
 }
 
@@ -290,8 +290,8 @@ func TestFastSLossBreaksSessionsSSMDoesNot(t *testing.T) {
 	app, fs := newApp(t)
 	login(t, app, "s1", 3)
 	fs.LoseAll() // the process-restart effect
-	if _, err := app.Execute(context.Background(), &core.Call{Op: AboutMe, SessionID: "s1"}); !errors.Is(err, errNotLoggedIn) {
-		t.Fatalf("err = %v, want errNotLoggedIn", err)
+	if _, err := app.Execute(context.Background(), &core.Call{Op: AboutMe, SessionID: "s1"}); !errors.Is(err, ErrNotLoggedIn) {
+		t.Fatalf("err = %v, want ErrNotLoggedIn", err)
 	}
 
 	// SSM: survives process restarts by construction.

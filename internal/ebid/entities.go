@@ -28,9 +28,12 @@ const (
 	opNextID  = "next"
 )
 
-// errNotLoggedIn is surfaced when an operation requires session state
-// that does not exist (e.g. lost in a process restart).
-var errNotLoggedIn = errors.New("ebid: not logged in")
+// ErrNotLoggedIn is surfaced when an operation requires session state
+// that does not exist (e.g. lost in a process restart). Exported so the
+// HTTP front end can answer it as a client-recoverable condition (log in
+// again) rather than a server error — under crash-only operation a
+// session lapse is a normal event, not a failure.
+var ErrNotLoggedIn = errors.New("ebid: not logged in")
 
 // entity is the generic entity component: a persistent application object
 // whose instances map to rows of one table (container-managed

@@ -59,7 +59,7 @@ func sessionStore(env *core.Env) (session.Store, error) {
 }
 
 // loadSession reads the caller's session; a missing session surfaces as
-// errNotLoggedIn (the "prompted to log in when already logged in" symptom
+// ErrNotLoggedIn (the "prompted to log in when already logged in" symptom
 // end users see after session loss).
 func loadSession(env *core.Env, call *core.Call) (*session.Session, session.Store, error) {
 	store, err := sessionStore(env)
@@ -67,11 +67,11 @@ func loadSession(env *core.Env, call *core.Call) (*session.Session, session.Stor
 		return nil, nil, err
 	}
 	if call.SessionID == "" {
-		return nil, nil, errNotLoggedIn
+		return nil, nil, ErrNotLoggedIn
 	}
 	s, err := store.Read(call.SessionID)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", errNotLoggedIn, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrNotLoggedIn, err)
 	}
 	if s.UserID <= 0 {
 		// Corrupted (nulled or invalidated) session data.

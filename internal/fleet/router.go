@@ -1,0 +1,461 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
+	"repro/internal/ebid"
+	"repro/internal/workload"
+)
+
+// Backend is one ebid-server process as seen from the proxy. It
+// implements cluster.Endpoint so the in-process routing policies route
+// real processes: QueueDepth is the proxy-side in-flight count (requests
+// this proxy has dispatched and not yet answered) and Busy is the
+// backend's own in-flight gauge from its last /admin/fleet/status poll.
+type Backend struct {
+	Name string
+	URL  string // e.g. http://127.0.0.1:8081
+
+	inflight   atomic.Int64 // proxy-side dispatched, unanswered
+	remoteBusy atomic.Int64 // backend-reported in_flight
+	healthy    atomic.Bool
+	draining   atomic.Bool
+	completed  atomic.Int64
+	failed     atomic.Int64
+}
+
+// QueueDepth implements cluster.Endpoint.
+func (b *Backend) QueueDepth() int { return int(b.inflight.Load()) }
+
+// Busy implements cluster.Endpoint.
+func (b *Backend) Busy() int { return int(b.remoteBusy.Load()) }
+
+// Healthy reports the last health poll's verdict.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Draining reports whether the backend is excluded from new sessions.
+func (b *Backend) Draining() bool { return b.draining.Load() }
+
+// CompletedOps reports requests this backend answered below 500.
+func (b *Backend) CompletedOps() int64 { return b.completed.Load() }
+
+// BackendStatus is one backend's externally visible state on
+// /admin/proxy/status.
+type BackendStatus struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Draining  bool   `json:"draining"`
+	InFlight  int64  `json:"in_flight"`
+	Busy      int64  `json:"busy"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed"`
+}
+
+// Router is the reverse-proxy load balancer: it forwards /ebid/*
+// requests to backend processes, keeps session affinity on the
+// EBIDSESSION cookie, spills established sessions away from dead or
+// draining backends (transparent failover — eBid operations are GETs,
+// so a connection-level failure is safe to retry elsewhere), and
+// answers policy shed decisions with 503 + Retry-After. It implements
+// controlplane.FleetProbe so the control plane's fleet controller
+// observes real processes through the same NodeStat samples it sees in
+// simulation.
+type Router struct {
+	policy   cluster.RoutingPolicy
+	backends []*Backend
+	client   *http.Client
+	poll     *http.Client
+
+	mu       sync.Mutex
+	affinity map[string]*Backend
+
+	lostSessions atomic.Int64 // sessions with no live backend to fail over to
+	spills       atomic.Int64 // established sessions re-pinned after a backend died
+	shed         atomic.Int64
+	retried      atomic.Int64 // transparent connection-level retries
+
+	pollEvery time.Duration
+	stop      chan struct{}
+	stopOnce  sync.Once
+}
+
+// NewRouter builds a router over the given backends. pollEvery is the
+// health/load poll interval (0 means 250ms).
+func NewRouter(policy cluster.RoutingPolicy, backends []*Backend, pollEvery time.Duration) *Router {
+	if pollEvery <= 0 {
+		pollEvery = 250 * time.Millisecond
+	}
+	r := &Router{
+		policy:   policy,
+		backends: backends,
+		affinity: map[string]*Backend{},
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			// The proxy is the only client; keep plenty of idle conns
+			// per backend so forwarding does not reconnect per request.
+			Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		},
+		poll:      &http.Client{Timeout: 500 * time.Millisecond},
+		pollEvery: pollEvery,
+		stop:      make(chan struct{}),
+	}
+	return r
+}
+
+// Start launches the health/load poll loop. An initial synchronous
+// sweep seeds health before the first request.
+func (r *Router) Start() {
+	r.pollOnce()
+	go func() {
+		tick := time.NewTicker(r.pollEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				r.pollOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the poll loop.
+func (r *Router) Stop() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// pollOnce refreshes every backend's health and load concurrently. One
+// failed poll marks a backend unhealthy — for process fleets behind a
+// local supervisor, a refused connection means the process is down, and
+// optimism here turns into user-visible errors.
+func (r *Router) pollOnce() {
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			resp, err := r.poll.Get(b.URL + "/admin/fleet/status")
+			if err != nil {
+				b.healthy.Store(false)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.healthy.Store(false)
+				return
+			}
+			var st struct {
+				InFlight int64 `json:"in_flight"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.healthy.Store(false)
+				return
+			}
+			b.remoteBusy.Store(st.InFlight)
+			b.healthy.Store(true)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// SetDrain implements half of controlplane.FleetActuator (see Actuator):
+// a draining backend stops receiving new sessions; its established
+// sessions spill to peers.
+func (r *Router) SetDrain(node string, drain bool) bool {
+	for _, b := range r.backends {
+		if b.Name == node {
+			b.draining.Store(drain)
+			return true
+		}
+	}
+	return false
+}
+
+// FleetStats implements controlplane.FleetProbe over the polled state.
+func (r *Router) FleetStats() []controlplane.NodeStat {
+	out := make([]controlplane.NodeStat, 0, len(r.backends))
+	for _, b := range r.backends {
+		out = append(out, controlplane.NodeStat{
+			Node:      b.Name,
+			Queue:     b.QueueDepth(),
+			Busy:      b.Busy(),
+			Down:      !b.Healthy(),
+			Draining:  b.Draining(),
+			Completed: b.completed.Load(),
+			Failed:    b.failed.Load(),
+		})
+	}
+	return out
+}
+
+// Status is the /admin/proxy/status payload.
+func (r *Router) Status() map[string]any {
+	backends := make([]BackendStatus, 0, len(r.backends))
+	for _, b := range r.backends {
+		backends = append(backends, BackendStatus{
+			Name: b.Name, URL: b.URL,
+			Healthy: b.Healthy(), Draining: b.Draining(),
+			InFlight: b.inflight.Load(), Busy: b.remoteBusy.Load(),
+			Completed: b.completed.Load(), Failed: b.failed.Load(),
+		})
+	}
+	r.mu.Lock()
+	pinned := len(r.affinity)
+	r.mu.Unlock()
+	return map[string]any{
+		"policy":          r.policy.Name(),
+		"backends":        backends,
+		"pinned_sessions": pinned,
+		"lost_sessions":   r.lostSessions.Load(),
+		"spilled":         r.spills.Load(),
+		"shed":            r.shed.Load(),
+		"retried":         r.retried.Load(),
+	}
+}
+
+// AllHealthy reports whether every backend passed its last poll — the
+// /admin/proxy/ready gate.
+func (r *Router) AllHealthy() bool {
+	for _, b := range r.backends {
+		if !b.Healthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// routable collects candidates for new-session routing: healthy and not
+// draining, falling back to all healthy (a draining fleet must still
+// serve), then to everything (fail honestly somewhere).
+func (r *Router) routable() []cluster.Endpoint {
+	cands := make([]cluster.Endpoint, 0, len(r.backends))
+	for _, b := range r.backends {
+		if b.Healthy() && !b.Draining() {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		for _, b := range r.backends {
+			if b.Healthy() {
+				cands = append(cands, b)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		for _, b := range r.backends {
+			cands = append(cands, b)
+		}
+	}
+	return cands
+}
+
+// sessionID pulls the EBIDSESSION cookie (empty when absent).
+func sessionID(req *http.Request) string {
+	if c, err := req.Cookie("EBIDSESSION"); err == nil {
+		return c.Value
+	}
+	return ""
+}
+
+// opFromPath extracts the operation name from /ebid/<Op>.
+func opFromPath(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/ebid/"); ok {
+		return rest
+	}
+	return ""
+}
+
+// pick chooses the backend for one request, applying affinity, spill
+// and the routing policy. It may return a ShedError via err.
+func (r *Router) pick(op, sid string) (*Backend, error) {
+	if sid != "" {
+		r.mu.Lock()
+		pinned := r.affinity[sid]
+		r.mu.Unlock()
+		if pinned != nil {
+			if pinned.Healthy() && !pinned.Draining() {
+				return pinned, nil
+			}
+			// Affinity target gone: spill the established session.
+			cands := r.routable()
+			if len(cands) == 0 || (len(cands) == 1 && cands[0].(*Backend) == pinned) {
+				r.lostSessions.Add(1)
+				r.unpin(sid)
+				return nil, fmt.Errorf("fleet: no live backend for session")
+			}
+			wreq := workload.Request{Op: op, SessionID: sid}
+			next := r.policy.RouteSpill(&wreq, cands).(*Backend)
+			r.mu.Lock()
+			r.affinity[sid] = next
+			r.mu.Unlock()
+			r.spills.Add(1)
+			return next, nil
+		}
+	}
+	cands := r.routable()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("fleet: no backends")
+	}
+	wreq := workload.Request{Op: op, SessionID: sid}
+	picked, err := r.policy.RouteNew(&wreq, cands)
+	if err != nil {
+		return nil, err
+	}
+	b := picked.(*Backend)
+	if sid != "" {
+		// A cookie-carrying request with no pin (the client re-logged
+		// in after a logout or lapse, so the backend re-uses the cookie
+		// without a fresh Set-Cookie): pin where we route it, or its
+		// follow-ups scatter across backends and lapse spuriously.
+		r.mu.Lock()
+		r.affinity[sid] = b
+		r.mu.Unlock()
+	}
+	return b, nil
+}
+
+func (r *Router) unpin(sid string) {
+	r.mu.Lock()
+	delete(r.affinity, sid)
+	r.mu.Unlock()
+}
+
+// connLevel reports a connection-level failure (refused, reset, broken
+// pipe, truncated response) that happened before the backend could have
+// acted on the request — safe to retry on a peer, since every eBid
+// operation is an idempotent GET, and grounds to mark the backend
+// unhealthy without waiting for the next poll.
+func connLevel(err error) bool {
+	var nerr *net.OpError
+	return errors.As(err, &nerr) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// ServeHTTP implements http.Handler for /ebid/* traffic.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	op := opFromPath(req.URL.Path)
+	sid := sessionID(req)
+
+	const maxAttempts = 3
+	tried := map[*Backend]bool{}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		b, err := r.pick(op, sid)
+		if err != nil {
+			var shed *cluster.ShedError
+			if errors.As(err, &shed) {
+				r.shed.Add(1)
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(shed.After.Seconds())))
+				http.Error(w, "fleet at capacity, retry later", http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if tried[b] {
+			// The policy keeps picking a backend we already failed on;
+			// mark and move on rather than hammering it.
+			b.healthy.Store(false)
+			continue
+		}
+		tried[b] = true
+
+		done, _ := r.forward(w, req, b, op, sid)
+		if done {
+			return
+		}
+		// Connection-level failure: the backend is gone. Mark it down
+		// now (the poll loop will confirm); pick() handles the spill on
+		// the retry.
+		b.healthy.Store(false)
+		b.failed.Add(1)
+		r.retried.Add(1)
+	}
+	http.Error(w, "no backend reachable", http.StatusBadGateway)
+}
+
+// forward proxies one request to b. It returns done=true when a
+// response (any status) was relayed to the client, done=false when the
+// failure was connection-level and the caller should retry elsewhere.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, b *Backend, op, sid string) (bool, error) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.URL+req.URL.RequestURI(), nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return true, err
+	}
+	out.Header = req.Header.Clone()
+
+	b.inflight.Add(1)
+	resp, err := r.client.Do(out)
+	b.inflight.Add(-1)
+	if err != nil {
+		if connLevel(err) {
+			return false, err
+		}
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return true, err
+	}
+	defer resp.Body.Close()
+
+	// Learn affinity from the session cookie the backend assigns, and
+	// retire it on logout or a session lapse (the 401 tells the client
+	// to log in again — it will get a fresh pin then).
+	for _, c := range resp.Cookies() {
+		if c.Name == "EBIDSESSION" && c.Value != "" {
+			r.mu.Lock()
+			r.affinity[c.Value] = b
+			r.mu.Unlock()
+		}
+	}
+	if sid != "" {
+		if resp.StatusCode == http.StatusUnauthorized || (op == ebid.OpLogout && resp.StatusCode == http.StatusOK) {
+			r.unpin(sid)
+		}
+	}
+
+	hdr := w.Header()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			hdr.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	if resp.StatusCode >= 500 {
+		b.failed.Add(1)
+	} else {
+		b.completed.Add(1)
+	}
+	return true, nil
+}
+
+// Actuator glues the Router and Supervisor into the control plane's
+// FleetActuator: drains act on routing, reboots act on processes. With
+// this in place controlplane.FleetController's rolling
+// drain→reboot→restore cycle operates a real OS-process fleet.
+type Actuator struct {
+	Router *Router
+	Sup    *Supervisor
+}
+
+// SetDrain implements controlplane.FleetActuator.
+func (a *Actuator) SetDrain(node string, drain bool) bool {
+	return a.Router.SetDrain(node, drain)
+}
+
+// RebootNode implements controlplane.FleetActuator: a hard node reboot —
+// SIGKILL and wait for the supervisor to bring the next incarnation up
+// ready, reporting the real downtime.
+func (a *Actuator) RebootNode(node string) (time.Duration, error) {
+	return a.Sup.Restart(node, false)
+}

@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// fakeBackend is a minimal ebid-server stand-in: it assigns EBIDSESSION
+// cookies on login ops, serves /admin/fleet/status, and counts hits.
+type fakeBackend struct {
+	name   string
+	hits   atomic.Int64
+	nextID atomic.Int64
+	srv    *httptest.Server
+	// block, when set, parks /ebid/ requests until released (for
+	// driving up proxy-side queue depth).
+	block   chan struct{}
+	arrived chan struct{}
+}
+
+func newFakeBackend(name string) *fakeBackend {
+	b := &fakeBackend{name: name}
+	b.srv = httptest.NewServer(http.HandlerFunc(b.serve))
+	return b
+}
+
+func (b *fakeBackend) serve(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/admin/fleet/status" {
+		fmt.Fprintf(w, `{"node":%q,"in_flight":0}`, b.name)
+		return
+	}
+	b.hits.Add(1)
+	if b.arrived != nil {
+		b.arrived <- struct{}{}
+	}
+	if b.block != nil {
+		<-b.block
+	}
+	op := strings.TrimPrefix(r.URL.Path, "/ebid/")
+	if cluster.IsLoginOp(op) {
+		if _, err := r.Cookie("EBIDSESSION"); err != nil {
+			http.SetCookie(w, &http.Cookie{
+				Name:  "EBIDSESSION",
+				Value: fmt.Sprintf("%s-s%d", b.name, b.nextID.Add(1)),
+				Path:  "/",
+			})
+		}
+	}
+	fmt.Fprintf(w, "served by %s", b.name)
+}
+
+func testRouter(t *testing.T, policy cluster.RoutingPolicy, fakes ...*fakeBackend) (*Router, *httptest.Server) {
+	t.Helper()
+	backends := make([]*Backend, len(fakes))
+	for i, f := range fakes {
+		backends[i] = &Backend{Name: f.name, URL: f.srv.URL}
+	}
+	r := NewRouter(policy, backends, 20*time.Millisecond)
+	r.Start()
+	t.Cleanup(r.Stop)
+	proxy := httptest.NewServer(r)
+	t.Cleanup(proxy.Close)
+	return r, proxy
+}
+
+// get issues one GET through the proxy, optionally with a session
+// cookie, and returns status, body and any Set-Cookie session id.
+func get(t *testing.T, url, sid string) (int, string, string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	if sid != "" {
+		req.AddCookie(&http.Cookie{Name: "EBIDSESSION", Value: sid})
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	newSID := ""
+	for _, c := range resp.Cookies() {
+		if c.Name == "EBIDSESSION" {
+			newSID = c.Value
+		}
+	}
+	return resp.StatusCode, body.String(), newSID
+}
+
+// TestRouterStickySession: once a login assigns a session cookie, every
+// follow-up request with that cookie lands on the same backend.
+func TestRouterStickySession(t *testing.T) {
+	b0, b1 := newFakeBackend("node0"), newFakeBackend("node1")
+	defer b0.srv.Close()
+	defer b1.srv.Close()
+	_, proxy := testRouter(t, cluster.NewRoundRobin(), b0, b1)
+
+	status, body, sid := get(t, proxy.URL+"/ebid/Authenticate?user=1", "")
+	if status != http.StatusOK || sid == "" {
+		t.Fatalf("login: status %d, sid %q", status, sid)
+	}
+	owner := body[len("served by "):]
+	var other *fakeBackend
+	if owner == "node0" {
+		other = b1
+	} else {
+		other = b0
+	}
+	before := other.hits.Load()
+	for i := 0; i < 10; i++ {
+		status, got, _ := get(t, proxy.URL+"/ebid/ViewItem?item=1", sid)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		if got != body {
+			t.Fatalf("request %d went to %q, want %q", i, got, body)
+		}
+	}
+	if other.hits.Load() != before {
+		t.Errorf("non-affinity backend got %d extra hits", other.hits.Load()-before)
+	}
+}
+
+// TestRouterFailoverSpill: when a session's backend dies, the request
+// transparently fails over to a peer — 200 to the client, a spill
+// recorded, no lost sessions.
+func TestRouterFailoverSpill(t *testing.T) {
+	b0, b1 := newFakeBackend("node0"), newFakeBackend("node1")
+	defer b1.srv.Close()
+	r, proxy := testRouter(t, cluster.NewRoundRobin(), b0, b1)
+
+	// Pin a session to whichever backend answers the login.
+	_, body, sid := get(t, proxy.URL+"/ebid/Authenticate?user=1", "")
+	victim, survivor := b0, b1
+	if strings.HasSuffix(body, "node1") {
+		victim, survivor = b1, b0
+	}
+	victim.srv.Close()
+
+	status, got, _ := get(t, proxy.URL+"/ebid/ViewItem?item=1", sid)
+	if status != http.StatusOK {
+		t.Fatalf("failover request: status %d, body %q", status, got)
+	}
+	if !strings.HasSuffix(got, survivor.name) {
+		t.Fatalf("failover went to %q, want %s", got, survivor.name)
+	}
+	st := r.Status()
+	if st["lost_sessions"].(int64) != 0 {
+		t.Errorf("lost_sessions = %d, want 0", st["lost_sessions"])
+	}
+	if r.spills.Load()+r.retried.Load() == 0 {
+		t.Error("neither a spill nor a transparent retry was recorded")
+	}
+	// The session is re-pinned: the next request needs no retry.
+	retriedBefore := r.retried.Load()
+	status, _, _ = get(t, proxy.URL+"/ebid/ViewItem?item=2", sid)
+	if status != http.StatusOK {
+		t.Fatalf("post-spill request: status %d", status)
+	}
+	if r.retried.Load() != retriedBefore {
+		t.Error("re-pinned session still needed a transparent retry")
+	}
+}
+
+// TestRouterDrainExcludesBackend: a draining backend receives no new
+// sessions; established ones spill away from it.
+func TestRouterDrainExcludesBackend(t *testing.T) {
+	b0, b1 := newFakeBackend("node0"), newFakeBackend("node1")
+	defer b0.srv.Close()
+	defer b1.srv.Close()
+	r, proxy := testRouter(t, cluster.NewRoundRobin(), b0, b1)
+
+	// Pin a session, then drain its backend.
+	_, body, sid := get(t, proxy.URL+"/ebid/Authenticate?user=1", "")
+	pinned := "node0"
+	if strings.HasSuffix(body, "node1") {
+		pinned = "node1"
+	}
+	if !r.SetDrain(pinned, true) {
+		t.Fatalf("SetDrain(%s) found no backend", pinned)
+	}
+	for i := 0; i < 6; i++ {
+		status, got, _ := get(t, proxy.URL+"/ebid/ViewItem?item=1", sid)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		if strings.HasSuffix(got, pinned) {
+			t.Fatalf("request %d reached draining backend %s", i, pinned)
+		}
+	}
+	// New sessions avoid the draining backend too.
+	for i := 0; i < 6; i++ {
+		_, got, _ := get(t, proxy.URL+"/ebid/Authenticate?user=2", "")
+		if strings.HasSuffix(got, pinned) {
+			t.Fatalf("new session %d landed on draining backend %s", i, pinned)
+		}
+	}
+	// Un-drain: the backend serves again.
+	r.SetDrain(pinned, false)
+	seen := false
+	for i := 0; i < 10 && !seen; i++ {
+		_, got, _ := get(t, proxy.URL+"/ebid/Authenticate?user=3", "")
+		seen = strings.HasSuffix(got, pinned)
+	}
+	if !seen {
+		t.Errorf("un-drained backend %s got no traffic in 10 logins", pinned)
+	}
+}
+
+// TestRouterShed503: with the shedding policy and every backend past
+// the queue watermark, a new login is answered 503 + Retry-After while
+// non-login traffic still flows.
+func TestRouterShed503(t *testing.T) {
+	b0 := newFakeBackend("node0")
+	defer b0.srv.Close()
+	b0.block = make(chan struct{})
+	b0.arrived = make(chan struct{}, 8)
+	policy := &cluster.SheddingPolicy{Inner: cluster.NewRoundRobin(), QueueWatermark: 1, RetryAfter: 2 * time.Second}
+	_, proxy := testRouter(t, policy, b0)
+
+	// Park two non-login requests on the backend so the proxy-side
+	// queue depth passes the watermark.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, _ := get(t, proxy.URL+"/ebid/ViewItem?item=1", "")
+			if status != http.StatusOK {
+				t.Errorf("parked request: status %d", status)
+			}
+		}()
+	}
+	<-b0.arrived
+	<-b0.arrived
+
+	status, _, _ := getWithRetryAfter(t, proxy.URL+"/ebid/Home", func(ra string) {
+		if ra == "" {
+			t.Error("503 without Retry-After")
+		}
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("login at capacity: status %d, want 503", status)
+	}
+	close(b0.block)
+	wg.Wait()
+
+	// Capacity restored: logins are admitted again.
+	status, _, _ = get(t, proxy.URL+"/ebid/Home", "")
+	if status != http.StatusOK {
+		t.Errorf("login after release: status %d, want 200", status)
+	}
+}
+
+func getWithRetryAfter(t *testing.T, url string, check func(string)) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	check(resp.Header.Get("Retry-After"))
+	return resp.StatusCode, "", ""
+}
+
+// TestRouterUnpinsOn401: a session-lapse 401 drops the affinity pin so
+// the client's re-login can land anywhere.
+func TestRouterUnpinsOn401(t *testing.T) {
+	lapse := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/admin/fleet/status" {
+			fmt.Fprint(w, `{"in_flight":0}`)
+			return
+		}
+		http.Error(w, "session lapsed", http.StatusUnauthorized)
+	}))
+	defer lapse.Close()
+	r := NewRouter(cluster.NewRoundRobin(), []*Backend{{Name: "node0", URL: lapse.URL}}, 20*time.Millisecond)
+	r.Start()
+	defer r.Stop()
+	proxy := httptest.NewServer(r)
+	defer proxy.Close()
+
+	// Seed a pin by hand via the affinity-learning path: the backend
+	// never sets cookies here, so plant one directly.
+	r.mu.Lock()
+	r.affinity["sid-1"] = r.backends[0]
+	r.mu.Unlock()
+
+	status, _, _ := get(t, proxy.URL+"/ebid/AboutMe", "sid-1")
+	if status != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", status)
+	}
+	r.mu.Lock()
+	_, pinned := r.affinity["sid-1"]
+	r.mu.Unlock()
+	if pinned {
+		t.Error("session still pinned after 401")
+	}
+}
+
+// TestRouterProbeStats: the FleetProbe view reflects health and drain
+// state, so the control plane sees the real fleet.
+func TestRouterProbeStats(t *testing.T) {
+	b0, b1 := newFakeBackend("node0"), newFakeBackend("node1")
+	defer b1.srv.Close()
+	r, _ := testRouter(t, cluster.LeastLoadedPolicy{}, b0, b1)
+
+	r.SetDrain("node1", true)
+	b0.srv.Close()
+	time.Sleep(100 * time.Millisecond) // a few poll cycles
+
+	stats := r.FleetStats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d node stats, want 2", len(stats))
+	}
+	for _, st := range stats {
+		switch st.Node {
+		case "node0":
+			if !st.Down {
+				t.Error("node0 not reported down after its server closed")
+			}
+		case "node1":
+			if !st.Draining {
+				t.Error("node1 not reported draining")
+			}
+			if st.Down {
+				t.Error("node1 reported down while healthy")
+			}
+		}
+	}
+	if r.AllHealthy() {
+		t.Error("AllHealthy true with node0 dead")
+	}
+}
+
+// BenchmarkProxyRouteNew measures the proxy-side routing decision (the
+// pick path without any network I/O) — the fleet counterpart of the
+// in-process BenchmarkLBRouteNew.
+func BenchmarkProxyRouteNew(b *testing.B) {
+	backends := make([]*Backend, 4)
+	for i := range backends {
+		backends[i] = &Backend{Name: fmt.Sprintf("node%d", i)}
+		backends[i].healthy.Store(true)
+	}
+	r := NewRouter(cluster.LeastLoadedPolicy{}, backends, time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.pick("ViewItem", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyForward measures one full proxied request over real
+// sockets — the end-to-end hop cost the reverse proxy adds.
+func BenchmarkProxyForward(b *testing.B) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/admin/fleet/status" {
+			fmt.Fprint(w, `{"in_flight":0}`)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer backend.Close()
+	r := NewRouter(cluster.LeastLoadedPolicy{}, []*Backend{{Name: "node0", URL: backend.URL}}, time.Hour)
+	r.Start()
+	defer r.Stop()
+	proxy := httptest.NewServer(r)
+	defer proxy.Close()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(proxy.URL + "/ebid/ViewItem?item=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -64,21 +65,37 @@ type Front struct {
 	// operations against a known-good shadow instance (the paper's
 	// comparison detector on live traffic).
 	Sampler *detect.Sampler
+	// Node overrides how this server identifies itself in fleet-status
+	// and health surfaces (NodeName when empty). A supervised fleet
+	// member is told its name by the supervisor that spawned it.
+	Node string
+	// Degrade, when positive, stalls every operation by this much before
+	// executing it — a deliberately slowed replica for exercising
+	// queue-aware routing against a degraded backend over real sockets.
+	Degrade time.Duration
 	start   time.Time
 
 	inflight atomic.Int64
 	shedded  atomic.Int64
 }
 
-// NodeName is how the front identifies itself in fleet-status surfaces.
+// NodeName is the default identity in fleet-status surfaces.
 const NodeName = "http0"
+
+// nodeName is the configured identity, or the single-node default.
+func (f *Front) nodeName() string {
+	if f.Node != "" {
+		return f.Node
+	}
+	return NodeName
+}
 
 // FleetStats implements controlplane.FleetProbe for the single-node
 // live server: in-flight requests stand in for busy workers so the
 // plane's node-load signals carry real backpressure.
 func (f *Front) FleetStats() []controlplane.NodeStat {
 	return []controlplane.NodeStat{{
-		Node:    NodeName,
+		Node:    f.nodeName(),
 		Busy:    int(f.inflight.Load()),
 		Workers: f.ShedWatermark,
 	}}
@@ -106,6 +123,7 @@ func New(app *ebid.App) *Front {
 func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ebid/", f.serveOp)
+	mux.HandleFunc("/healthz", f.serveHealthz)
 	mux.HandleFunc("/admin/microreboot", f.serveMicroreboot)
 	mux.HandleFunc("/admin/reboot", f.serveReboot)
 	mux.HandleFunc("/admin/components", f.serveComponents)
@@ -117,12 +135,25 @@ func (f *Front) Handler() http.Handler {
 	return mux
 }
 
+// serveHealthz handles GET /healthz — the readiness/liveness probe a
+// supervisor polls. The listener only opens after the dataset is loaded
+// and the application deployed, so answering at all means ready; the
+// body carries the identity a fleet supervisor matches children by.
+func (f *Front) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"ready":     true,
+		"node":      f.nodeName(),
+		"pid":       os.Getpid(),
+		"uptime_ms": time.Since(f.start).Milliseconds(),
+	})
+}
+
 // serveFleet handles GET /admin/fleet/status: the front's own admission
 // counters, the comparison sampler's, and — when a fleet controller
 // runs on the plane — its per-node view and rolling-reboot log.
 func (f *Front) serveFleet(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
-		"node":           NodeName,
+		"node":           f.nodeName(),
 		"in_flight":      f.inflight.Load(),
 		"shed":           f.shedded.Load(),
 		"shed_watermark": f.ShedWatermark,
@@ -358,6 +389,15 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 	// The request context is the root of the call's shepherd: client
 	// disconnects, lease expiry and µRB kills all cancel it.
 	began := time.Now()
+	if f.Degrade > 0 {
+		// The degraded-replica stall charges wall time before the
+		// operation, holding the request in flight so load probes and
+		// queue-aware routing see the slowness as backpressure.
+		select {
+		case <-time.After(f.Degrade):
+		case <-r.Context().Done():
+		}
+	}
 	body, err := f.App.Execute(r.Context(), call)
 	// Measure before the sampled replay: the shadow execution is
 	// detector overhead, not part of this request's latency.
@@ -391,6 +431,8 @@ func failureKind(err error) string {
 		return "lease-expired"
 	case errors.Is(err, core.ErrHang):
 		return "hang"
+	case errors.Is(err, ebid.ErrNotLoggedIn):
+		return "session-lapsed"
 	default:
 		return "http-error"
 	}
@@ -414,6 +456,12 @@ func (f *Front) writeOpError(w http.ResponseWriter, err error) {
 		http.Error(w, "execution lease expired: "+err.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, core.ErrHang):
 		http.Error(w, "request wedged (deadlock/loop injected)", http.StatusGatewayTimeout)
+	case errors.Is(err, ebid.ErrNotLoggedIn):
+		// Crash-only semantics: a lapsed or unknown session (lease
+		// expiry, a process restart that ate non-SSM state) is a normal
+		// client-recoverable event, not a server error — 401 tells the
+		// client to log in again, and fleet routers unpin the session.
+		http.Error(w, "session lapsed: "+err.Error(), http.StatusUnauthorized)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

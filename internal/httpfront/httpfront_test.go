@@ -675,3 +675,81 @@ func TestFleetStatusEndpointWithSamplerAndPlane(t *testing.T) {
 		t.Fatalf("controller view = %+v", st.Controller)
 	}
 }
+
+// TestHealthzReady checks the supervisor's readiness probe answers with
+// the configured node identity.
+func TestHealthzReady(t *testing.T) {
+	f := newFront(t)
+	f.Node = "backend-2"
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var hz struct {
+		Ready bool   `json:"ready"`
+		Node  string `json:"node"`
+		Pid   int    `json:"pid"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.Ready || hz.Node != "backend-2" || hz.Pid == 0 {
+		t.Fatalf("healthz = %+v, want ready with node backend-2 and a pid", hz)
+	}
+}
+
+// TestSessionLapse401 checks a session-requiring operation with no
+// stored session answers 401 (client-recoverable: log in again), not a
+// 5xx — the contract the fleet's failover path depends on after a
+// backend loses its per-process session state.
+func TestSessionLapse401(t *testing.T) {
+	f := newFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/ebid/AboutMe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An established cookie whose backend-side state is gone (the
+	// killed-backend failover shape).
+	req.AddCookie(&http.Cookie{Name: "EBIDSESSION", Value: "http-was-on-a-dead-backend"})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d (%s), want 401", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}
+
+// TestDegradeStallsOps checks the degraded-replica knob holds requests
+// in flight for at least the configured stall.
+func TestDegradeStallsOps(t *testing.T) {
+	f := newFront(t)
+	f.Degrade = 50 * time.Millisecond
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/ebid/ViewItem?item=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("degraded op finished in %v, want >= 50ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -3,6 +3,7 @@ package db
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 	"time"
@@ -87,6 +88,87 @@ func NewWALWithSink(w io.Writer) *WAL {
 	wal := &WAL{sink: w}
 	wal.enc = json.NewEncoder(&wal.buf)
 	return wal
+}
+
+// LoadWAL reads a sink file's JSON-line records back into a fresh WAL —
+// the crash-safe startup path of a process whose previous incarnation
+// mirrored its log to disk. Reading stops at the first damaged record (a
+// crash mid-write leaves a torn tail); the returned offset is the byte
+// position of the last intact record, which the caller should truncate
+// the file to before appending new records. Commit-mark atomicity is
+// untouched: a transaction whose mark fell in the torn tail is simply
+// never replayed.
+func LoadWAL(r io.Reader) (w *WAL, offset int64, err error) {
+	w = &WAL{}
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	schemas := map[string]*Schema{}
+	for {
+		var rec walRecord
+		if derr := dec.Decode(&rec); derr != nil {
+			if errors.Is(derr, io.EOF) {
+				return w, offset, nil
+			}
+			var syn *json.SyntaxError
+			if errors.As(derr, &syn) || errors.Is(derr, io.ErrUnexpectedEOF) {
+				// Torn tail: keep what decoded cleanly.
+				return w, offset, nil
+			}
+			return w, offset, derr
+		}
+		if rec.Kind == recCreateTable && rec.Schema != nil {
+			schemas[rec.Schema.Name] = rec.Schema
+		}
+		restoreRowTypes(rec.Row, schemas[rec.Table])
+		w.records = append(w.records, rec)
+		offset = dec.InputOffset()
+	}
+}
+
+// restoreRowTypes converts json.Number values decoded from a sink file
+// back to the Row contract's native Go types. encoding/json alone would
+// hand every number back as float64, so an Int column recovered after a
+// crash would no longer satisfy the int64 assertions the live code makes.
+// The table's schema (logged by CreateTable, so always earlier in the WAL
+// than any row touching it) decides; unknown columns fall back to
+// int-then-float parsing.
+func restoreRowTypes(r Row, s *Schema) {
+	for k, v := range r {
+		n, ok := v.(json.Number)
+		if !ok {
+			continue
+		}
+		if s != nil {
+			if col, ok := s.column(k); ok {
+				switch col.Type {
+				case Int:
+					if i, err := n.Int64(); err == nil {
+						r[k] = i
+						continue
+					}
+				case Float:
+					if f, err := n.Float64(); err == nil {
+						r[k] = f
+						continue
+					}
+				}
+			}
+		}
+		if i, err := n.Int64(); err == nil {
+			r[k] = i
+		} else if f, err := n.Float64(); err == nil {
+			r[k] = f
+		}
+	}
+}
+
+// AttachSink starts mirroring records appended from here on to sink.
+// Records already in the log (e.g. loaded by LoadWAL) are not rewritten.
+func (w *WAL) AttachSink(sink io.Writer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sink = sink
+	w.enc = json.NewEncoder(&w.buf)
 }
 
 // SetCommitWindow sets how long a group-commit leader waits for followers
