@@ -558,6 +558,145 @@ func BenchmarkInvokeOpsPerSec(b *testing.B) {
 	})
 }
 
+// benchAppSessions builds a loaded eBid app with n authenticated
+// sessions ("bench-p0" … "bench-pN-1") so parallel benchmarks can spread
+// goroutines across distinct sessions, the way production traffic looks.
+func benchAppSessions(b *testing.B, n int) *ebid.App {
+	b.Helper()
+	d := db.New(nil)
+	ds := ebid.DatasetConfig{Users: 50, Items: 100, BidsPerItem: 2, Categories: 5, Regions: 5, OldItems: 10}
+	if err := ebid.LoadDataset(d, ds); err != nil {
+		b.Fatal(err)
+	}
+	app, err := ebid.New(d, session.NewFastS(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		auth := &core.Call{
+			Op:        ebid.Authenticate,
+			SessionID: fmt.Sprintf("bench-p%d", i),
+			Args:      core.ArgMap{"user": int64(i%50 + 1)},
+		}
+		if _, err := app.Execute(context.Background(), auth); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return app
+}
+
+// benchReadHeavyOp issues the i-th op of the read-dominated mix —
+// roughly the eBid browse/view traffic shape: item views dominate, with
+// user views, bid histories, and the session-backed AboutMe mixed in.
+func benchReadHeavyOp(ctx context.Context, b *testing.B, app *ebid.App, sid string, args *ebid.OpArgs, i int) bool {
+	*args = ebid.OpArgs{}
+	var op string
+	switch i % 8 {
+	case 0, 1, 2, 3:
+		op = ebid.ViewItem
+		args.Item = int64(i%100 + 1)
+	case 4, 5:
+		op = ebid.ViewUserInfo
+		args.User = int64(i%50 + 1)
+	case 6:
+		op = ebid.ViewBidHistory
+		args.Item = int64(i%100 + 1)
+	default:
+		op = ebid.AboutMe
+	}
+	call := core.NewCall(op, sid, args, 0)
+	_, err := app.Execute(ctx, call)
+	call.Release()
+	if err != nil {
+		b.Error(err)
+		return false
+	}
+	return true
+}
+
+// BenchmarkInvokeOpsPerSecParallel runs the invoke pipeline the way
+// production traffic looks: many goroutines, distinct sessions, a
+// read-dominated mix. ReadHeavySerial is the single-goroutine baseline
+// for the same mix, so the ops/s ratio between the two sub-benches is the
+// read-path concurrency win (on a multi-core runner; a single-core
+// container shows ~1x by construction). Mixed90 adds ~10% writing ops,
+// whose commits take the store's exclusive lock; write conflicts on the
+// id-sequence row are fail-fast retries in the crash-only design, and
+// count as work here, not failures.
+func BenchmarkInvokeOpsPerSecParallel(b *testing.B) {
+	const sessions = 64
+	ctx := context.Background()
+	b.Run("ReadHeavySerial", func(b *testing.B) {
+		app := benchAppSessions(b, sessions)
+		args := &ebid.OpArgs{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !benchReadHeavyOp(ctx, b, app, "bench-p0", args, i) {
+				return
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+	b.Run("ReadHeavy", func(b *testing.B) {
+		app := benchAppSessions(b, sessions)
+		var gid int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			g := atomic.AddInt64(&gid, 1)
+			sid := fmt.Sprintf("bench-p%d", g%sessions)
+			args := &ebid.OpArgs{}
+			// Offset per goroutine so the mix phases don't march in
+			// lockstep across goroutines.
+			i := int(g * 251)
+			for pb.Next() {
+				i++
+				if !benchReadHeavyOp(ctx, b, app, sid, args, i) {
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+	b.Run("Mixed90", func(b *testing.B) {
+		app := benchAppSessions(b, sessions)
+		var gid int64
+		var conflicts int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			g := atomic.AddInt64(&gid, 1)
+			sid := fmt.Sprintf("bench-p%d", g%sessions)
+			args := &ebid.OpArgs{}
+			i := int(g * 251)
+			for pb.Next() {
+				i++
+				if i%10 != 9 {
+					if !benchReadHeavyOp(ctx, b, app, sid, args, i) {
+						return
+					}
+					continue
+				}
+				*args = ebid.OpArgs{Category: 1}
+				call := core.NewCall(ebid.RegisterNewItem, sid, args, 0)
+				_, err := app.Execute(ctx, call)
+				call.Release()
+				if err != nil {
+					if errors.Is(err, db.ErrConflict) {
+						atomic.AddInt64(&conflicts, 1)
+						continue
+					}
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		b.ReportMetric(float64(atomic.LoadInt64(&conflicts))/float64(b.N), "conflicts/op")
+	})
+}
+
 // BenchmarkStoreTxCommit measures transaction commit latency against a
 // mirrored WAL sink — the path group commit batches.
 func BenchmarkStoreTxCommit(b *testing.B) {

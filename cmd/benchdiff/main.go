@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchdiff -old baseline/BENCH_PR.json -new BENCH_PR.json [-threshold 20] [-alloc-threshold 10] [-fail]
+//	benchdiff -old baseline/BENCH_PR.json -new BENCH_PR.json [-threshold 20] [-alloc-threshold 10] [-higher-better ops/s] [-fail]
 //
 // Output is one line per benchmark movement, plus GitHub workflow
 // annotations (::error:: for regressions, ::notice:: for improvements)
@@ -14,6 +14,14 @@
 // beyond the thresholds exits non-zero. When both runs carry -benchmem
 // columns, a benchmark that was allocation-free and now allocates is
 // always a regression, regardless of percentage.
+//
+// Custom bench metrics (b.ReportMetric) are parsed off the bench line as
+// "value unit" pairs. Units listed in -higher-better (default ops/s) are
+// throughput-style gauges where DOWN is the regression: a drop beyond
+// -threshold percent fails the gate even when ns/op looks flat (a
+// parallel benchmark can lose throughput to contention without its
+// per-iteration time moving much). Other custom units (domain gauges like
+// requests or rr-p99-ms) are carried but never gated.
 package main
 
 import (
@@ -37,12 +45,14 @@ type event struct {
 }
 
 // result is one benchmark's parsed metrics. bytes/allocs are only
-// meaningful when hasMem is set (the run used -benchmem).
+// meaningful when hasMem is set (the run used -benchmem). metrics holds
+// any custom b.ReportMetric columns by unit (e.g. "ops/s").
 type result struct {
-	ns     float64
-	bytes  float64
-	allocs float64
-	hasMem bool
+	ns      float64
+	bytes   float64
+	allocs  float64
+	hasMem  bool
+	metrics map[string]float64
 }
 
 // test2json frequently splits a benchmark line across two output events:
@@ -57,6 +67,9 @@ var (
 	benchCounters = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op(.*)$`)
 	memBytes      = regexp.MustCompile(`([0-9.]+) B/op`)
 	memAllocs     = regexp.MustCompile(`([0-9.]+) allocs/op`)
+	// benchMetric matches every "value unit" column after ns/op; the
+	// -benchmem units are filtered out when collecting custom metrics.
+	benchMetric = regexp.MustCompile(`([0-9.eE+-]+) ([A-Za-z%][^\s]*)`)
 )
 
 // parseResult builds a result from the ns/op figure and the rest of the
@@ -73,6 +86,20 @@ func parseResult(nsText, rest string) (result, bool) {
 		r.bytes, _ = strconv.ParseFloat(bm[1], 64)
 		r.allocs, _ = strconv.ParseFloat(am[1], 64)
 		r.hasMem = true
+	}
+	for _, m := range benchMetric.FindAllStringSubmatch(rest, -1) {
+		unit := m[2]
+		if unit == "B/op" || unit == "allocs/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		if r.metrics == nil {
+			r.metrics = map[string]float64{}
+		}
+		r.metrics[unit] = v
 	}
 	return r, true
 }
@@ -151,6 +178,37 @@ func (m movement) allocRegressed(threshold float64) bool {
 	return m.allocPct > threshold
 }
 
+// hbPct returns the percentage movement of one higher-is-better custom
+// metric, when both runs report it (negative means throughput dropped).
+func (m movement) hbPct(unit string) (float64, bool) {
+	oldV, okOld := m.oldR.metrics[unit]
+	newV, okNew := m.newR.metrics[unit]
+	if !okOld || !okNew || oldV <= 0 {
+		return 0, false
+	}
+	return (newV - oldV) / oldV * 100, true
+}
+
+// hbRegressed reports whether any of the higher-is-better units dropped
+// by more than threshold percent; hbImproved is the symmetric notice.
+func (m movement) hbRegressed(units []string, threshold float64) bool {
+	for _, u := range units {
+		if pct, ok := m.hbPct(u); ok && pct < -threshold {
+			return true
+		}
+	}
+	return false
+}
+
+func (m movement) hbImproved(units []string, threshold float64) bool {
+	for _, u := range units {
+		if pct, ok := m.hbPct(u); ok && pct > threshold {
+			return true
+		}
+	}
+	return false
+}
+
 // diff compares two parsed runs and returns the movements for
 // benchmarks present in both, sorted worst-regression first.
 func diff(oldRun, newRun map[string]result) (moves []movement, onlyOld, onlyNew []string) {
@@ -195,11 +253,16 @@ func parseFile(path string) (map[string]result, error) {
 }
 
 // describe renders one movement, appending the alloc column when both
-// runs have it.
-func describe(m movement) string {
+// runs have it and any gated higher-is-better metrics both runs report.
+func describe(m movement, hbUnits []string) string {
 	s := fmt.Sprintf("%s %.0f → %.0f ns/op (%+.1f%%)", m.name, m.oldR.ns, m.newR.ns, m.deltaPct)
 	if m.hasMem {
 		s += fmt.Sprintf(", %.0f → %.0f allocs/op", m.oldR.allocs, m.newR.allocs)
+	}
+	for _, u := range hbUnits {
+		if pct, ok := m.hbPct(u); ok {
+			s += fmt.Sprintf(", %.0f → %.0f %s (%+.1f%%)", m.oldR.metrics[u], m.newR.metrics[u], u, pct)
+		}
 	}
 	return s
 }
@@ -209,8 +272,15 @@ func main() {
 	newPath := flag.String("new", "", "current test2json bench stream")
 	threshold := flag.Float64("threshold", 20, "percent ns/op movement that counts as a regression/improvement")
 	allocThreshold := flag.Float64("alloc-threshold", 10, "percent allocs/op growth that counts as a regression (requires -benchmem in both runs)")
+	higherBetter := flag.String("higher-better", "ops/s", "comma-separated custom metric units where a drop beyond -threshold percent is a regression")
 	fail := flag.Bool("fail", false, "exit non-zero when any regression exceeds the thresholds")
 	flag.Parse()
+	var hbUnits []string
+	for _, u := range strings.Split(*higherBetter, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			hbUnits = append(hbUnits, u)
+		}
+	}
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
@@ -237,14 +307,17 @@ func main() {
 		switch {
 		case m.deltaPct > *threshold:
 			regressions++
-			fmt.Printf("::error::bench regression: %s\n", describe(m))
+			fmt.Printf("::error::bench regression: %s\n", describe(m, hbUnits))
 		case m.allocRegressed(*allocThreshold):
 			regressions++
-			fmt.Printf("::error::bench alloc regression: %s\n", describe(m))
-		case m.deltaPct < -*threshold:
-			fmt.Printf("::notice::bench improvement: %s\n", describe(m))
+			fmt.Printf("::error::bench alloc regression: %s\n", describe(m, hbUnits))
+		case m.hbRegressed(hbUnits, *threshold):
+			regressions++
+			fmt.Printf("::error::bench throughput regression: %s\n", describe(m, hbUnits))
+		case m.deltaPct < -*threshold || m.hbImproved(hbUnits, *threshold):
+			fmt.Printf("::notice::bench improvement: %s\n", describe(m, hbUnits))
 		default:
-			fmt.Printf("bench ok: %s\n", describe(m))
+			fmt.Printf("bench ok: %s\n", describe(m, hbUnits))
 		}
 	}
 	for _, name := range onlyOld {

@@ -146,6 +146,86 @@ func TestDiffAllocRegressions(t *testing.T) {
 	}
 }
 
+// Parallel throughput benches report a custom "ops/s" metric via
+// b.ReportMetric; it lands on the bench line between ns/op and the
+// -benchmem columns. The parser must lift it into result.metrics and the
+// higher-is-better gate must flag throughput DROPS (down = bad), while
+// domain gauges like rr-p99-ms stay ungated.
+const hbOldStream = `
+{"Action":"output","Package":"repro","Output":"BenchmarkInvokeOpsPerSecParallel/ReadHeavy-4 \t  500000\t      2100 ns/op\t    480000 ops/s\t      64 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkFleetRR-4 \t 10 \t 100000 ns/op\t 200 requests\t 9.5 rr-p99-ms\n"}
+`
+
+const hbNewStream = `
+{"Action":"output","Package":"repro","Output":"BenchmarkInvokeOpsPerSecParallel/ReadHeavy-4 \t  500000\t      2200 ns/op\t    240000 ops/s\t      64 B/op\t       3 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkFleetRR-4 \t 10 \t 100000 ns/op\t 90 requests\t 9.5 rr-p99-ms\n"}
+`
+
+func TestParseBenchExtractsCustomMetrics(t *testing.T) {
+	got, err := parseBench(strings.NewReader(hbOldStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := got["repro.BenchmarkInvokeOpsPerSecParallel/ReadHeavy"]
+	if par.ns != 2100 || !par.hasMem || par.allocs != 3 {
+		t.Fatalf("parallel bench = %+v", par)
+	}
+	if par.metrics["ops/s"] != 480000 {
+		t.Fatalf("ops/s = %v, want 480000 (metrics %v)", par.metrics["ops/s"], par.metrics)
+	}
+	// The -benchmem columns must not leak into the custom metric map.
+	if _, ok := par.metrics["B/op"]; ok {
+		t.Fatalf("B/op leaked into metrics: %v", par.metrics)
+	}
+	if _, ok := par.metrics["allocs/op"]; ok {
+		t.Fatalf("allocs/op leaked into metrics: %v", par.metrics)
+	}
+	rr := got["repro.BenchmarkFleetRR"]
+	if rr.metrics["requests"] != 200 || rr.metrics["rr-p99-ms"] != 9.5 {
+		t.Fatalf("domain metrics = %v", rr.metrics)
+	}
+}
+
+func TestDiffFlagsThroughputDrops(t *testing.T) {
+	oldRun, _ := parseBench(strings.NewReader(hbOldStream))
+	newRun, _ := parseBench(strings.NewReader(hbNewStream))
+	moves, _, _ := diff(oldRun, newRun)
+	byName := map[string]movement{}
+	for _, m := range moves {
+		byName[m.name] = m
+	}
+	par := byName["repro.BenchmarkInvokeOpsPerSecParallel/ReadHeavy"]
+	// ops/s halved (-50%): regression past a 20% threshold even though
+	// ns/op only moved +4.8%.
+	if par.deltaPct > 20 {
+		t.Fatalf("ns/op alone should not regress: %+v", par)
+	}
+	if pct, ok := par.hbPct("ops/s"); !ok || pct > -49 || pct < -51 {
+		t.Fatalf("ops/s pct = %v ok=%v, want ≈ -50", pct, ok)
+	}
+	if !par.hbRegressed([]string{"ops/s"}, 20) {
+		t.Fatal("-50% ops/s not flagged at threshold 20")
+	}
+	if par.hbRegressed([]string{"ops/s"}, 60) {
+		t.Fatal("-50% ops/s flagged at threshold 60")
+	}
+	// Unlisted units never gate, even when they crater.
+	fleet := byName["repro.BenchmarkFleetRR"]
+	if fleet.hbRegressed([]string{"ops/s"}, 20) {
+		t.Fatalf("requests drop gated without being listed: %+v", fleet)
+	}
+	if !fleet.hbRegressed([]string{"requests"}, 20) {
+		t.Fatal("explicitly listed unit did not gate")
+	}
+	// Improvements are symmetric: swap old/new.
+	rev, _, _ := diff(newRun, oldRun)
+	for _, m := range rev {
+		if m.name == par.name && !m.hbImproved([]string{"ops/s"}, 20) {
+			t.Fatal("doubled ops/s not reported as improvement")
+		}
+	}
+}
+
 func TestDiffIdenticalRunsAreQuiet(t *testing.T) {
 	run, _ := parseBench(strings.NewReader(oldStream))
 	moves, onlyOld, onlyNew := diff(run, run)

@@ -136,11 +136,10 @@ type Call struct {
 	// track/untrack O(1) cost with no map hashing.
 	trackPrev, trackNext *Call
 
-	// mu guards the context binding below; it is only meaningful on the
-	// root call of a request.
-	mu     sync.Mutex
-	bound  bool
-	cancel context.CancelCauseFunc
+	// shep is the request's shepherd context, embedded in the pooled
+	// call so binding a root context costs no allocation. Only
+	// meaningful on the root call of a request.
+	shep shepherd
 }
 
 // callPool recycles Call objects across requests. A Call holds a mutex
@@ -185,9 +184,9 @@ func (c *Call) Release() bool {
 	if c.killed.Load() {
 		return false
 	}
-	c.mu.Lock()
-	bound := c.bound
-	c.mu.Unlock()
+	c.shep.mu.Lock()
+	bound := c.shep.bound
+	c.shep.mu.Unlock()
 	if bound {
 		return false
 	}
@@ -220,13 +219,7 @@ func (c *Call) Kill() {
 	for p := c; p != nil; p = p.parent {
 		p.killed.Store(true)
 	}
-	r := c.Root()
-	r.mu.Lock()
-	cancel := r.cancel
-	r.mu.Unlock()
-	if cancel != nil {
-		cancel(ErrKilled)
-	}
+	c.Root().shep.kill()
 }
 
 // Root returns the top-level call of the request.
@@ -242,33 +235,212 @@ func (c *Call) Root() *Call {
 // the execution lease (TTL) becomes a deadline and Kill becomes a
 // cancellation. It is a no-op for sub-invocations of an already-bound
 // request (they inherit the caller's derived context). The returned
-// release func (nil when already bound) must run when the root invocation
-// finishes.
-func (c *Call) bindContext(parent context.Context) (context.Context, func()) {
+// shepherd (nil when already bound) must be unbound when the root
+// invocation finishes.
+func (c *Call) bindContext(parent context.Context) (context.Context, *shepherd) {
 	r := c.Root()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.bound {
+	s := &r.shep
+	s.mu.Lock()
+	if s.bound {
+		s.mu.Unlock()
 		return parent, nil
 	}
-	ctx, cancel := context.WithCancelCause(parent)
-	stop := func() {}
+	s.bound = true
+	s.parent = parent
+	s.deadline = time.Time{}
+	s.done = nil
+	s.err, s.cause = nil, nil
 	if r.TTL > 0 {
-		ctx, stop = context.WithTimeoutCause(ctx, r.TTL, ErrLeaseExpired)
+		s.deadline = time.Now().Add(r.TTL)
+		if pd, ok := parent.Deadline(); ok && pd.Before(s.deadline) {
+			s.deadline = pd
+		}
 	}
 	if r.killed.Load() {
-		cancel(ErrKilled)
+		s.cancelLocked(context.Canceled, ErrKilled)
 	}
-	r.bound = true
-	r.cancel = cancel
-	return ctx, func() {
-		stop()
-		cancel(context.Canceled)
-		r.mu.Lock()
-		r.bound = false
-		r.cancel = nil
-		r.mu.Unlock()
+	s.mu.Unlock()
+	return s, s
+}
+
+// shepherd is the root invocation context, embedded in the pooled Call so
+// binding a context per request allocates nothing. Cancellation state is
+// evaluated lazily: Err checks the lease deadline and the parent on
+// demand, and the done channel, lease timer, and parent watcher only
+// materialize when something actually blocks on Done — the common
+// non-blocking request never pays for any of them.
+//
+// The context is valid only for the duration of its request: once the
+// root Invoke returns, the call (and this context with it) may be
+// recycled for a different request. Code must not retain it past Serve —
+// the same contract net/http puts on request contexts.
+type shepherd struct {
+	mu       sync.Mutex
+	bound    bool
+	parent   context.Context
+	deadline time.Time     // lease expiry; zero when the call has no TTL
+	done     chan struct{} // lazily created by Done
+	timer    *time.Timer   // lease timer, armed alongside done
+	err      error         // Canceled/DeadlineExceeded once cancelled
+	cause    error         // ErrKilled, ErrLeaseExpired, or the parent's cause
+}
+
+// closedchan is the reusable pre-closed Done channel for contexts that
+// were cancelled before anything blocked on them.
+var closedchan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// shepherdKey is the Value key under which a shepherd exposes itself, so
+// CancelCause can find the invocation cause through WithValue wrappers
+// and library-derived child contexts.
+type shepherdKey struct{}
+
+// Deadline implements context.Context.
+func (s *shepherd) Deadline() (time.Time, bool) {
+	s.mu.Lock()
+	d, parent := s.deadline, s.parent
+	s.mu.Unlock()
+	if !d.IsZero() {
+		return d, true
 	}
+	if parent != nil {
+		return parent.Deadline()
+	}
+	return time.Time{}, false
+}
+
+// Done implements context.Context. The first call arms the heavyweight
+// machinery: the lease timer and, when the parent is cancellable, a
+// watcher goroutine propagating its cancellation.
+func (s *shepherd) Done() <-chan struct{} {
+	s.mu.Lock()
+	if s.done == nil {
+		if s.errLocked() != nil {
+			s.mu.Unlock()
+			return closedchan
+		}
+		done := make(chan struct{})
+		s.done = done
+		if !s.deadline.IsZero() {
+			s.timer = time.AfterFunc(time.Until(s.deadline), func() {
+				s.cancelFor(done, context.DeadlineExceeded, ErrLeaseExpired)
+			})
+		}
+		if parent := s.parent; parent != nil && parent.Done() != nil {
+			go func() {
+				select {
+				case <-parent.Done():
+					s.cancelFor(done, parent.Err(), context.Cause(parent))
+				case <-done:
+				}
+			}()
+		}
+	}
+	d := s.done
+	s.mu.Unlock()
+	return d
+}
+
+// Err implements context.Context, lazily observing lease expiry and
+// parent cancellation — no timer needs to have fired for a hop-boundary
+// lease check to see an expired lease.
+func (s *shepherd) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errLocked()
+}
+
+func (s *shepherd) errLocked() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		s.cancelLocked(context.DeadlineExceeded, ErrLeaseExpired)
+		return s.err
+	}
+	if s.parent != nil {
+		if perr := s.parent.Err(); perr != nil {
+			s.cancelLocked(perr, context.Cause(s.parent))
+			return s.err
+		}
+	}
+	return nil
+}
+
+// Value implements context.Context.
+func (s *shepherd) Value(key any) any {
+	if _, ok := key.(shepherdKey); ok {
+		return s
+	}
+	s.mu.Lock()
+	parent := s.parent
+	s.mu.Unlock()
+	if parent != nil {
+		return parent.Value(key)
+	}
+	return nil
+}
+
+// causeErr returns the invocation-level cancellation cause, nil while
+// the context is live.
+func (s *shepherd) causeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.errLocked() == nil {
+		return nil
+	}
+	return s.cause
+}
+
+// kill cancels a bound shepherd with cause ErrKilled; on an unbound call
+// the killed flag alone carries the verdict until bindContext runs.
+func (s *shepherd) kill() {
+	s.mu.Lock()
+	if s.bound {
+		s.cancelLocked(context.Canceled, ErrKilled)
+	}
+	s.mu.Unlock()
+}
+
+func (s *shepherd) cancelLocked(err, cause error) {
+	if s.err != nil {
+		return
+	}
+	s.err, s.cause = err, cause
+	if s.done != nil {
+		close(s.done)
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+// cancelFor cancels only if done is still the current request's channel:
+// the lease timer and parent watcher capture the channel they were armed
+// for, so a callback outliving its request can never cancel the next
+// request bound to the recycled call.
+func (s *shepherd) cancelFor(done chan struct{}, err, cause error) {
+	s.mu.Lock()
+	if s.done == done {
+		s.cancelLocked(err, cause)
+	}
+	s.mu.Unlock()
+}
+
+// unbind ends the request: the context is cancelled (unblocking any
+// straggling watcher) and stays cancelled while unbound, so retained
+// references observe a dead context rather than a reset one. bindContext
+// re-arms the state for the next request.
+func (s *shepherd) unbind() {
+	s.mu.Lock()
+	s.cancelLocked(context.Canceled, context.Canceled)
+	s.bound = false
+	s.parent = nil
+	s.mu.Unlock()
 }
 
 // Arg fetches a typed argument; ok is false when absent or mistyped —
@@ -408,8 +580,16 @@ var (
 // CancelCause extracts the invocation-level failure behind a context
 // cancellation: ErrKilled, ErrLeaseExpired, or the raw context error when
 // the cancellation came from outside the server (e.g. an HTTP client
-// disconnect).
+// disconnect). The shepherd context is not a context-package cancelCtx,
+// so context.Cause alone cannot see its cause; look it up through the
+// Value chain first (which also works for contexts derived from the
+// shepherd), then fall back to the standard machinery.
 func CancelCause(ctx context.Context) error {
+	if s, ok := ctx.Value(shepherdKey{}).(*shepherd); ok {
+		if cause := s.causeErr(); cause != nil {
+			return cause
+		}
+	}
 	if cause := context.Cause(ctx); cause != nil {
 		return cause
 	}

@@ -329,9 +329,9 @@ func (s *Server) Invoke(ctx context.Context, component string, call *Call) (any,
 		ctx = context.Background()
 	}
 	call.Component = component
-	ctx, release := call.bindContext(ctx)
-	if release != nil {
-		defer release()
+	ctx, root := call.bindContext(ctx)
+	if root != nil {
+		defer root.unbind()
 	}
 
 	s.trackCall(component, call)

@@ -99,29 +99,37 @@ func viewArgs(call *core.Call) entityArgView {
 }
 
 // txFrom returns the caller-supplied transaction, or starts an
-// auto-commit transaction. The returned done func commits auto
-// transactions.
-func (e *entity) txFrom(v entityArgView) (tx *db.Tx, done func(err error) error, err error) {
+// auto-commit transaction (auto=true). Auto transactions are settled
+// through finishTx; returning a flag instead of a settle closure keeps
+// the per-call hot path free of the closure allocation.
+func (e *entity) txFrom(v entityArgView) (tx *db.Tx, auto bool, err error) {
 	if v.tx != nil {
-		return v.tx, func(err error) error { return err }, nil
+		return v.tx, false, nil
 	}
 	t, err := e.db.Begin()
 	if err != nil {
-		return nil, nil, err
+		return nil, false, err
 	}
-	return t, func(err error) error {
-		if err != nil {
-			_ = t.Abort()
-			return err
-		}
-		return t.Commit()
-	}, nil
+	return t, true, nil
+}
+
+// finishTx settles an auto-commit transaction: abort on failure, commit
+// on success. Caller-supplied transactions pass through untouched.
+func finishTx(tx *db.Tx, auto bool, err error) error {
+	if !auto {
+		return err
+	}
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
 }
 
 // Serve implements core.Component: the entity sub-operations.
 func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
 	v := viewArgs(call)
-	tx, done, err := e.txFrom(v)
+	tx, auto, err := e.txFrom(v)
 	if err != nil {
 		return nil, err
 	}
@@ -129,12 +137,12 @@ func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
 	switch call.Op {
 	case opLoad:
 		if !v.hasKey {
-			return nil, done(fmt.Errorf("ebid: %s load: missing key", e.table))
+			return nil, finishTx(tx, auto, fmt.Errorf("ebid: %s load: missing key", e.table))
 		}
 		res, err = tx.Get(e.table, v.key)
 	case opCreate:
 		if v.row == nil {
-			return nil, done(fmt.Errorf("ebid: %s create: missing row", e.table))
+			return nil, finishTx(tx, auto, fmt.Errorf("ebid: %s create: missing row", e.table))
 		}
 		if v.hasKey {
 			err = tx.InsertWithKey(e.table, v.key, v.row)
@@ -144,10 +152,10 @@ func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
 		}
 	case opUpdate:
 		if !v.hasKey {
-			return nil, done(fmt.Errorf("ebid: %s update: missing key", e.table))
+			return nil, finishTx(tx, auto, fmt.Errorf("ebid: %s update: missing key", e.table))
 		}
 		if v.row == nil {
-			return nil, done(fmt.Errorf("ebid: %s update: missing row", e.table))
+			return nil, finishTx(tx, auto, fmt.Errorf("ebid: %s update: missing row", e.table))
 		}
 		err = tx.Update(e.table, v.key, v.row)
 	case opByIndex:
@@ -168,9 +176,9 @@ func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
 		})
 		res = rows
 	default:
-		return nil, done(fmt.Errorf("ebid: %s: unknown entity op %q", e.table, call.Op))
+		return nil, finishTx(tx, auto, fmt.Errorf("ebid: %s: unknown entity op %q", e.table, call.Op))
 	}
-	return res, done(err)
+	return res, finishTx(tx, auto, err)
 }
 
 // idManager is the IdentityManager entity: it generates the
@@ -256,8 +264,10 @@ func (m *idManager) Serve(ctx context.Context, call *core.Call) (any, error) {
 		return nil, err
 	}
 	next := row["next"].(int64)
-	row["next"] = next + 1
-	if err := tx.Update(TblIDSeq, seqKey, row); err != nil {
+	// The row from Get is shared and immutable; bump the counter on a clone.
+	upd := row.Clone()
+	upd["next"] = next + 1
+	if err := tx.Update(TblIDSeq, seqKey, upd); err != nil {
 		return nil, err
 	}
 	return next, nil

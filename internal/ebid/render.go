@@ -1,0 +1,106 @@
+package ebid
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Pooled response-body rendering.
+//
+// Every eBid op used to build its HTML body with fmt.Sprintf, which costs
+// one allocation per verb plus the interface boxing of each argument —
+// the single largest allocation source on the read-dominated invoke path.
+// renderBuf replaces it with a pooled []byte appended to via
+// strconv.Append*, so formatting itself is allocation-free; only the
+// final []byte→string conversion of done() allocates.
+//
+// Bodies must stay byte-identical to the old fmt.Sprintf output: the
+// detect.Sampler comparison detector diffs live bodies against a shadow
+// replica, so any drift would read as divergence. The any-typed column
+// accessors (anyS/anyI/anyF2) therefore fast-path the schema types and
+// fall back to the fmt verbs for anything else — a corrupted column
+// renders exactly the "%!s(int64=5)"-style noise it always did, which is
+// precisely what the detectors key on. TestRenderGoldenBodies holds this
+// equivalence.
+
+type renderBuf struct {
+	b []byte
+}
+
+var renderPool = sync.Pool{
+	New: func() any { return &renderBuf{b: make([]byte, 0, 128)} },
+}
+
+// render fetches a pooled builder. Pair with done (or release on error
+// paths that abandon the body).
+func render() *renderBuf {
+	return renderPool.Get().(*renderBuf)
+}
+
+// s appends a literal string.
+func (r *renderBuf) s(v string) *renderBuf {
+	r.b = append(r.b, v...)
+	return r
+}
+
+// i appends an int64 as %d.
+func (r *renderBuf) i(v int64) *renderBuf {
+	r.b = strconv.AppendInt(r.b, v, 10)
+	return r
+}
+
+// n appends an int as %d (the len(...) arguments).
+func (r *renderBuf) n(v int) *renderBuf {
+	r.b = strconv.AppendInt(r.b, int64(v), 10)
+	return r
+}
+
+// f2 appends a float64 as %.2f.
+func (r *renderBuf) f2(v float64) *renderBuf {
+	r.b = strconv.AppendFloat(r.b, v, 'f', 2, 64)
+	return r
+}
+
+// anyS appends an any-typed value as %s would.
+func (r *renderBuf) anyS(v any) *renderBuf {
+	if s, ok := v.(string); ok {
+		r.b = append(r.b, s...)
+		return r
+	}
+	r.b = fmt.Appendf(r.b, "%s", v)
+	return r
+}
+
+// anyI appends an any-typed value as %d would.
+func (r *renderBuf) anyI(v any) *renderBuf {
+	if i, ok := v.(int64); ok {
+		return r.i(i)
+	}
+	r.b = fmt.Appendf(r.b, "%d", v)
+	return r
+}
+
+// anyF2 appends an any-typed value as %.2f would.
+func (r *renderBuf) anyF2(v any) *renderBuf {
+	if f, ok := v.(float64); ok {
+		return r.f2(f)
+	}
+	r.b = fmt.Appendf(r.b, "%.2f", v)
+	return r
+}
+
+// done materializes the body as a string and recycles the builder. The
+// returned string is safe to retain (it is a fresh copy, not the pooled
+// buffer).
+func (r *renderBuf) done() string {
+	s := string(r.b)
+	r.release()
+	return s
+}
+
+// release recycles the builder without materializing a string.
+func (r *renderBuf) release() {
+	r.b = r.b[:0]
+	renderPool.Put(r)
+}

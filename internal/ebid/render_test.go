@@ -1,0 +1,159 @@
+package ebid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestRenderGoldenBodies proves the pooled renderer produces bodies
+// byte-identical to the fmt.Sprintf formats it replaced, for every op
+// body shape — including corrupted column values, where the fmt fallback
+// must reproduce the exact "%!s(...)"-style noise the comparison
+// detector keys on. The detect.Sampler diffs live bodies against a
+// shadow replica, so any drift here would read as divergence.
+func TestRenderGoldenBodies(t *testing.T) {
+	// Column values as they arrive from db.Row: schema types plus the
+	// shapes corruption produces (nil, wrong types).
+	anyVals := []any{"alice", "", "item-1", int64(0), int64(-3), nil, 3.5, true}
+	intIDs := []int64{0, 1, 7, -2, 1 << 40}
+	floats := []float64{0, 0.004, 0.005, 1, 123.456, -0.0049, math.Copysign(0, -1), math.Inf(1), math.NaN()}
+	counts := []int{0, 1, 10, 62}
+
+	check := func(name, got, want string) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s:\n got %q\nwant %q", name, got, want)
+		}
+	}
+
+	for _, nick := range anyVals {
+		for _, id := range intIDs {
+			check("welcome",
+				render().s("<html>welcome ").anyS(nick).s(" (user ").i(id).s(")</html>").done(),
+				fmt.Sprintf("<html>welcome %s (user %d)</html>", nick, id))
+			for _, nb := range counts {
+				check("aboutme",
+					render().s("<html>about user ").i(id).s(" (").anyS(nick).
+						s("): ").n(nb).s(" bids, ").n(nb+1).s(" buys</html>").done(),
+					fmt.Sprintf("<html>about user %d (%s): %d bids, %d buys</html>", id, nick, nb, nb+1))
+			}
+		}
+	}
+
+	for _, nb := range counts {
+		check("categories",
+			render().s("<html>").n(nb).s(" categories</html>").done(),
+			fmt.Sprintf("<html>%d categories</html>", nb))
+		check("regions",
+			render().s("<html>").n(nb).s(" regions</html>").done(),
+			fmt.Sprintf("<html>%d regions</html>", nb))
+	}
+
+	for _, id := range intIDs {
+		for _, nb := range counts {
+			check("search",
+				render().s("<html>search ").s("category").s("=").i(id).s(": ").n(nb).s(" items</html>").done(),
+				fmt.Sprintf("<html>search %s=%d: %d items</html>", "category", id, nb))
+			check("bidhistory",
+				render().s("<html>item ").i(id).s(" bid history: ").n(nb).s(" bids</html>").done(),
+				fmt.Sprintf("<html>item %d bid history: %d bids</html>", id, nb))
+		}
+	}
+
+	// ViewItem / old item: any-typed name, %.2f price, %d bid count.
+	for _, name := range anyVals {
+		for _, price := range floats {
+			check("olditem",
+				render().s("<html>old item ").i(9).s(": ").anyS(name).
+					s(" sold at ").anyF2(price).s("</html>").done(),
+				fmt.Sprintf("<html>old item %d: %s sold at %.2f</html>", int64(9), name, price))
+			for _, nbids := range anyVals {
+				check("viewitem",
+					render().s("<html>item ").i(9).s(": ").anyS(name).
+						s(", max bid ").anyF2(price).s(", ").anyI(nbids).s(" bids</html>").done(),
+					fmt.Sprintf("<html>item %d: %s, max bid %.2f, %d bids</html>", int64(9), name, price, nbids))
+			}
+		}
+	}
+
+	// Corrupted max_bid (non-float) must render the same fmt noise.
+	for _, bad := range anyVals {
+		check("viewitem-corrupt",
+			render().s("<html>item ").i(1).s(": ").anyS(bad).
+				s(", max bid ").anyF2(bad).s(", ").anyI(bad).s(" bids</html>").done(),
+			fmt.Sprintf("<html>item %d: %s, max bid %.2f, %d bids</html>", int64(1), bad, bad, bad))
+	}
+
+	for _, nick := range anyVals {
+		for _, rating := range anyVals {
+			check("viewuser",
+				render().s("<html>user ").i(3).s(" (").anyS(nick).
+					s("), rating ").anyI(rating).s(", ").n(2).s(" comments</html>").done(),
+				fmt.Sprintf("<html>user %d (%s), rating %d, %d comments</html>", int64(3), nick, rating, 2))
+		}
+	}
+
+	for _, id := range intIDs {
+		check("bidform",
+			render().s("<html>bid form for item ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>bid form for item %d</html>", id))
+		for _, amount := range floats {
+			check("bidcommit",
+				render().s("<html>bid committed on item ").i(id).s(" for ").f2(amount).s("</html>").done(),
+				fmt.Sprintf("<html>bid committed on item %d for %.2f</html>", id, amount))
+		}
+		check("buynowform",
+			render().s("<html>buy-now form for item ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>buy-now form for item %d</html>", id))
+		check("buynowcommit",
+			render().s("<html>purchase committed for item ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>purchase committed for item %d</html>", id))
+		check("fbform",
+			render().s("<html>feedback form for user ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>feedback form for user %d</html>", id))
+		check("fbcommit",
+			render().s("<html>feedback committed for user ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>feedback committed for user %d</html>", id))
+		check("reguser",
+			render().s("<html>registered user ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>registered user %d</html>", id))
+		check("regitem",
+			render().s("<html>registered item ").i(id).s("</html>").done(),
+			fmt.Sprintf("<html>registered item %d</html>", id))
+	}
+}
+
+// BenchmarkRenderItemBody measures the formatting path alone (the pooled
+// builder, recycled without materializing the string): this must be
+// 0 allocs/op — the CI alloc gate flags any 0→N move.
+func BenchmarkRenderItemBody(b *testing.B) {
+	name, maxBid, nbBids := any("gadget"), any(123.45), any(int64(17))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rb := render().s("<html>item ").i(7).s(": ").anyS(name).
+			s(", max bid ").anyF2(maxBid).s(", ").anyI(nbBids).s(" bids</html>")
+		rb.release()
+	}
+}
+
+// BenchmarkRenderItemBodyString includes the final []byte→string copy the
+// ops pay to hand the body through the any-typed result: 1 alloc/op.
+func BenchmarkRenderItemBodyString(b *testing.B) {
+	name, maxBid, nbBids := any("gadget"), any(123.45), any(int64(17))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = render().s("<html>item ").i(7).s(": ").anyS(name).
+			s(", max bid ").anyF2(maxBid).s(", ").anyI(nbBids).s(" bids</html>").done()
+	}
+}
+
+// BenchmarkRenderItemBodyFmt is the fmt.Sprintf formatting this replaced,
+// kept as the comparison point.
+func BenchmarkRenderItemBodyFmt(b *testing.B) {
+	name, maxBid, nbBids := any("gadget"), any(123.45), any(int64(17))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("<html>item %d: %s, max bid %.2f, %d bids</html>", int64(7), name, maxBid, nbBids)
+	}
+}

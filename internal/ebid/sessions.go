@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/store/db"
@@ -150,7 +151,7 @@ func opAuthenticate(ctx context.Context, env *core.Env, call *core.Call) (any, e
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>welcome %s (user %d)</html>", row["nickname"], userID), nil
+	return render().s("<html>welcome ").anyS(row["nickname"]).s(" (user ").i(userID).s(")</html>").done(), nil
 }
 
 func opAboutMe(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -171,8 +172,8 @@ func opAboutMe(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 		return nil, err
 	}
 	row := userRes.(db.Row)
-	return fmt.Sprintf("<html>about user %d (%s): %d bids, %d buys</html>",
-		sess.UserID, row["nickname"], len(bids.([]int64)), len(buys.([]int64))), nil
+	return render().s("<html>about user ").i(sess.UserID).s(" (").anyS(row["nickname"]).
+		s("): ").n(len(bids.([]int64))).s(" bids, ").n(len(buys.([]int64))).s(" buys</html>").done(), nil
 }
 
 func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -180,7 +181,7 @@ func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (an
 	if err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>%d categories</html>", len(res.([]db.Row))), nil
+	return render().s("<html>").n(len(res.([]db.Row))).s(" categories</html>").done(), nil
 }
 
 func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -188,7 +189,7 @@ func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, 
 	if err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>%d regions</html>", len(res.([]db.Row))), nil
+	return render().s("<html>").n(len(res.([]db.Row))).s(" regions</html>").done(), nil
 }
 
 func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string, argKey string) (any, error) {
@@ -211,7 +212,7 @@ func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string
 			return nil, err
 		}
 	}
-	return fmt.Sprintf("<html>search %s=%d: %d items</html>", col, val, len(ids)), nil
+	return render().s("<html>search ").s(col).s("=").i(val).s(": ").n(len(ids)).s(" items</html>").done(), nil
 }
 
 func opSearchItemsByCategory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -235,11 +236,12 @@ func opViewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error
 			return nil, err
 		}
 		row := old.(db.Row)
-		return fmt.Sprintf("<html>old item %d: %s sold at %.2f</html>", itemID, row["name"], row["final_price"]), nil
+		return render().s("<html>old item ").i(itemID).s(": ").anyS(row["name"]).
+			s(" sold at ").anyF2(row["final_price"]).s("</html>").done(), nil
 	}
 	row := res.(db.Row)
-	return fmt.Sprintf("<html>item %d: %s, max bid %.2f, %d bids</html>",
-		itemID, row["name"], row["max_bid"], row["nb_bids"]), nil
+	return render().s("<html>item ").i(itemID).s(": ").anyS(row["name"]).
+		s(", max bid ").anyF2(row["max_bid"]).s(", ").anyI(row["nb_bids"]).s(" bids</html>").done(), nil
 }
 
 func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -256,8 +258,8 @@ func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, e
 		return nil, err
 	}
 	row := res.(db.Row)
-	return fmt.Sprintf("<html>user %d (%s), rating %d, %d comments</html>",
-		userID, row["nickname"], row["rating"], len(fb.([]int64))), nil
+	return render().s("<html>user ").i(userID).s(" (").anyS(row["nickname"]).
+		s("), rating ").anyI(row["rating"]).s(", ").n(len(fb.([]int64))).s(" comments</html>").done(), nil
 }
 
 func opViewBidHistory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -269,7 +271,7 @@ func opViewBidHistory(ctx context.Context, env *core.Env, call *core.Call) (any,
 	if err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>item %d bid history: %d bids</html>", itemID, len(keys.([]int64))), nil
+	return render().s("<html>item ").i(itemID).s(" bid history: ").n(len(keys.([]int64))).s(" bids</html>").done(), nil
 }
 
 func opMakeBid(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -289,7 +291,7 @@ func opMakeBid(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>bid form for item %d</html>", itemID), nil
+	return render().s("<html>bid form for item ").i(itemID).s("</html>").done(), nil
 }
 
 func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -326,7 +328,9 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 		if err != nil {
 			return err
 		}
-		item := itemRes.(db.Row)
+		// Rows from the store are shared and immutable: derive the update
+		// on a clone.
+		item := itemRes.(db.Row).Clone()
 		if amount > item["max_bid"].(float64) {
 			item["max_bid"] = amount
 		}
@@ -340,7 +344,7 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 	sess.Items = sess.Items[:len(sess.Items)-1]
 	delete(sess.Data, "intent")
 	_ = store.Write(sess)
-	return fmt.Sprintf("<html>bid committed on item %d for %.2f</html>", itemID, amount), nil
+	return render().s("<html>bid committed on item ").i(itemID).s(" for ").f2(amount).s("</html>").done(), nil
 }
 
 func opDoBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -360,7 +364,7 @@ func opDoBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>buy-now form for item %d</html>", itemID), nil
+	return render().s("<html>buy-now form for item ").i(itemID).s("</html>").done(), nil
 }
 
 func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -393,7 +397,7 @@ func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, e
 		if err != nil {
 			return err
 		}
-		item := itemRes.(db.Row)
+		item := itemRes.(db.Row).Clone()
 		if q := item["quantity"].(int64); q > 0 {
 			item["quantity"] = q - 1
 		}
@@ -406,7 +410,7 @@ func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, e
 	sess.Items = sess.Items[:len(sess.Items)-1]
 	delete(sess.Data, "intent")
 	_ = store.Write(sess)
-	return fmt.Sprintf("<html>purchase committed for item %d</html>", itemID), nil
+	return render().s("<html>purchase committed for item ").i(itemID).s("</html>").done(), nil
 }
 
 func opLeaveUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -421,11 +425,11 @@ func opLeaveUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (a
 	if _, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(nil, target)); err != nil {
 		return nil, err
 	}
-	sess.Data["fbTarget"] = fmt.Sprint(target)
+	sess.Data["fbTarget"] = strconv.FormatInt(target, 10)
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>feedback form for user %d</html>", target), nil
+	return render().s("<html>feedback form for user ").i(target).s("</html>").done(), nil
 }
 
 func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -437,8 +441,8 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 	if !ok {
 		return nil, errors.New("ebid: CommitUserFeedback: no feedback target")
 	}
-	var target int64
-	if _, err := fmt.Sscan(targetStr, &target); err != nil || target <= 0 {
+	target, err := strconv.ParseInt(targetStr, 10, 64)
+	if err != nil || target <= 0 {
 		return nil, fmt.Errorf("ebid: CommitUserFeedback: bad target %q", targetStr)
 	}
 	rating, ok := argInt64(call, "rating")
@@ -466,7 +470,7 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 		if err != nil {
 			return err
 		}
-		user := userRes.(db.Row)
+		user := userRes.(db.Row).Clone()
 		user["rating"] = user["rating"].(int64) + rating
 		_, err = invokeEntity(ctx, env, call, EntUser, opUpdate, rowArgs(tx, target, user))
 		return err
@@ -476,7 +480,7 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 	}
 	delete(sess.Data, "fbTarget")
 	_ = store.Write(sess)
-	return fmt.Sprintf("<html>feedback committed for user %d</html>", target), nil
+	return render().s("<html>feedback committed for user ").i(target).s("</html>").done(), nil
 }
 
 func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -500,7 +504,7 @@ func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any
 		}
 		newID = id
 		row := db.Row{
-			"nickname": fmt.Sprintf("user%d", id),
+			"nickname": "user" + strconv.FormatInt(id, 10),
 			"rating":   int64(0),
 			"region":   region,
 			"balance":  float64(100),
@@ -519,13 +523,13 @@ func opRegisterNewUser(ctx context.Context, env *core.Env, call *core.Call) (any
 	sess := &session.Session{
 		ID:      call.SessionID,
 		UserID:  newID,
-		Data:    map[string]string{"nickname": fmt.Sprintf("user%d", newID)},
+		Data:    map[string]string{"nickname": "user" + strconv.FormatInt(newID, 10)},
 		Created: env.Now(),
 	}
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>registered user %d</html>", newID), nil
+	return render().s("<html>registered user ").i(newID).s("</html>").done(), nil
 }
 
 func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -553,7 +557,7 @@ func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any
 		}
 		newID = id
 		row := db.Row{
-			"name":     fmt.Sprintf("item-%d", id),
+			"name":     "item-" + strconv.FormatInt(id, 10),
 			"seller":   sess.UserID,
 			"category": category,
 			"region":   int64(1),
@@ -568,7 +572,7 @@ func opRegisterNewItem(ctx context.Context, env *core.Env, call *core.Call) (any
 	if err := finish(err); err != nil {
 		return nil, err
 	}
-	return fmt.Sprintf("<html>registered item %d</html>", newID), nil
+	return render().s("<html>registered item ").i(newID).s("</html>").done(), nil
 }
 
 // sessionDescriptors returns the deployment descriptors for the 17

@@ -1,0 +1,400 @@
+package db_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store/db"
+)
+
+// Tests for the concurrent read path: shared-lock reads, the row cache,
+// and their interaction with commits, crashes, recovery, and repair.
+// These are primarily -race exercisers; the staleness test also asserts a
+// linearizability bound on the row cache.
+
+func kvDB(t *testing.T) *db.DB {
+	t.Helper()
+	d := db.New(nil)
+	schema := db.Schema{
+		Name:    "kv",
+		Columns: []db.Column{{Name: "v", Type: db.Int}, {Name: "tag", Type: db.Str}},
+		Indexes: []string{"tag"},
+	}
+	if err := d.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 8; k++ {
+		if err := tx.InsertWithKey("kv", k, db.Row{"v": int64(0), "tag": "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// tolerable reports whether err is an error a reader may legitimately see
+// while the database is being crashed/recovered/aborted under it.
+func tolerable(err error) bool {
+	return err == nil ||
+		errors.Is(err, db.ErrCrashed) ||
+		errors.Is(err, db.ErrTxDone) ||
+		errors.Is(err, db.ErrConflict)
+}
+
+// TestConcurrentReadsDuringCommits hammers lock-free/shared-lock reads
+// (Get, Lookup, Scan) against committing writers, row corruption, and
+// table repair. Run under -race this proves readers never observe a row
+// mid-mutation: rows are immutable and installed copy-on-write.
+func TestConcurrentReadsDuringCommits(t *testing.T) {
+	d := kvDB(t)
+	const (
+		readers = 4
+		writes  = 400
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: bump counters through the transactional API.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := int64(w + 1) // disjoint keys: no conflicts between writers
+			for i := 1; i <= writes; i++ {
+				tx, err := d.Begin()
+				if err != nil {
+					t.Errorf("Begin: %v", err)
+					return
+				}
+				if err := tx.Update("kv", key, db.Row{"v": int64(i), "tag": "t"}); err != nil {
+					t.Errorf("Update: %v", err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("Commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// A corruptor + repairer: bypasses the transactional API the way the
+	// Table 2 fault campaign does, exercising the copy-on-write swap and
+	// cache invalidation against live readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := d.CorruptRow("kv", 7, "v", nil); err != nil {
+				t.Errorf("CorruptRow: %v", err)
+				return
+			}
+			if _, err := d.CheckTable("kv"); err != nil {
+				t.Errorf("CheckTable: %v", err)
+				return
+			}
+			if _, err := d.RepairTable("kv"); err != nil {
+				t.Errorf("RepairTable: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := d.Begin()
+				if err != nil {
+					t.Errorf("Begin: %v", err)
+					return
+				}
+				for k := int64(1); k <= 8; k++ {
+					row, err := tx.Get("kv", k)
+					if err != nil {
+						t.Errorf("Get(%d): %v", k, err)
+						return
+					}
+					// Touch the value: -race flags this if a writer could
+					// mutate the row in place.
+					_ = row["v"]
+				}
+				if _, err := tx.Lookup("kv", "tag", "t"); err != nil {
+					t.Errorf("Lookup: %v", err)
+					return
+				}
+				if err := tx.Scan("kv", func(_ int64, r db.Row) bool { _ = r["v"]; return true }); err != nil {
+					t.Errorf("Scan: %v", err)
+					return
+				}
+				if err := tx.Commit(); err != nil && !errors.Is(err, db.ErrTxDone) {
+					t.Errorf("read-only Commit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The writers bound the test; stop the readers once both have
+	// finished all their commits (visible in the commit counter).
+	go func() {
+		for {
+			commits, _, _ := d.Stats()
+			if commits >= uint64(2*writes) {
+				close(stop)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Final state must reflect every commit.
+	for w := 0; w < 2; w++ {
+		tx, err := d.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := tx.Get("kv", int64(w+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := row["v"].(int64); got != writes {
+			t.Fatalf("key %d: v = %d, want %d", w+1, got, writes)
+		}
+		_ = tx.Commit()
+	}
+}
+
+// TestConcurrentReadsAcrossCrashRecover races readers against full
+// crash/recover cycles and mass aborts. Readers must only ever see clean
+// outcomes: success or ErrCrashed/ErrTxDone — never a torn row or a
+// stale cache entry resurrected across a crash.
+func TestConcurrentReadsAcrossCrashRecover(t *testing.T) {
+	d := kvDB(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := d.Begin()
+				if err != nil {
+					if !tolerable(err) {
+						t.Errorf("Begin: %v", err)
+					}
+					continue
+				}
+				if row, err := tx.Get("kv", 3); err == nil {
+					_ = row["v"]
+				} else if !tolerable(err) {
+					t.Errorf("Get: %v", err)
+				}
+				if err := tx.Commit(); err != nil && !tolerable(err) {
+					t.Errorf("Commit: %v", err)
+				}
+			}
+		}()
+	}
+
+	// One writer keeps commits flowing so the WAL grows across cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			tx, err := d.Begin()
+			if err != nil {
+				continue
+			}
+			if err := tx.Update("kv", 5, db.Row{"v": i, "tag": "t"}); err != nil {
+				_ = tx.Abort()
+				continue
+			}
+			_ = tx.Commit()
+		}
+	}()
+
+	for cycle := 0; cycle < 30; cycle++ {
+		d.Crash()
+		if !d.Crashed() {
+			t.Fatal("Crashed() = false after Crash")
+		}
+		if err := d.Recover(); err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		d.AbortAll(nil)
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the last Recover the table must be complete.
+	n, err := d.RowCount("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("RowCount = %d, want 8", n)
+	}
+}
+
+// TestRowCacheNeverServesStale is the staleness bound: a reader that
+// starts after a commit returned must see that commit's value (or newer),
+// whether its Get is served by the row cache or the table. The writer
+// publishes the committed version only after Commit returns; readers
+// snapshot that floor before reading and require value ≥ floor.
+func TestRowCacheNeverServesStale(t *testing.T) {
+	d := kvDB(t)
+	const commits = 2000
+	var floor atomic.Int64 // highest version known committed
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := int64(1); i <= commits; i++ {
+			tx, err := d.Begin()
+			if err != nil {
+				t.Errorf("Begin: %v", err)
+				return
+			}
+			if err := tx.Update("kv", 1, db.Row{"v": i, "tag": "t"}); err != nil {
+				t.Errorf("Update: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("Commit: %v", err)
+				return
+			}
+			floor.Store(i) // published strictly after the commit returned
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				want := floor.Load()
+				tx, err := d.Begin()
+				if err != nil {
+					t.Errorf("Begin: %v", err)
+					return
+				}
+				row, err := tx.Get("kv", 1)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if got := row["v"].(int64); got < want {
+					t.Errorf("stale read: v = %d, but %d was committed before the read began", got, want)
+					return
+				}
+				_ = tx.Commit()
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses, _ := d.RowCacheStats()
+	if hits == 0 {
+		t.Errorf("row cache took no hits (misses=%d); staleness test exercised nothing", misses)
+	}
+}
+
+// TestRowCacheServesCommittedValueAfterInvalidation pins the basic cache
+// protocol: fill on read, invalidate on commit, refill with the new value.
+func TestRowCacheServesCommittedValueAfterInvalidation(t *testing.T) {
+	d := kvDB(t)
+	read := func() int64 {
+		tx, err := d.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tx.Commit()
+		row, err := tx.Get("kv", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row["v"].(int64)
+	}
+	if got := read(); got != 0 {
+		t.Fatalf("v = %d, want 0", got)
+	}
+	read() // second read: served from cache
+	hits, _, entries := d.RowCacheStats()
+	if hits == 0 || entries == 0 {
+		t.Fatalf("expected cache hits and resident entries, got hits=%d entries=%d", hits, entries)
+	}
+
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("kv", 2, db.Row{"v": int64(42), "tag": "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != 42 {
+		t.Fatalf("after commit: v = %d, want 42 (stale cache?)", got)
+	}
+
+	// Crash wipes the cache; recovery must not resurrect old values.
+	d.Crash()
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != 42 {
+		t.Fatalf("after crash+recover: v = %d, want 42", got)
+	}
+
+	// Corruption invalidates the damaged key...
+	if _, err := d.CorruptRow("kv", 2, "v", int64(-7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != -7 {
+		t.Fatalf("after corruption: v = %d, want -7", got)
+	}
+	// ...and repair restores the WAL truth, dropping cached damage.
+	if _, err := d.RepairTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != 42 {
+		t.Fatalf("after repair: v = %d, want 42", got)
+	}
+}

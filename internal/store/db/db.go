@@ -15,7 +15,11 @@
 //     table repair, reproducing the "corrupt data inside MySQL" row of
 //     Table 2 (worst case: database table repair needed).
 //
-// The store is safe for concurrent use.
+// The store is safe for concurrent use. The read path is concurrent:
+// Get/Lookup/Scan take only a shared lock (Commit keeps exclusivity), rows
+// are immutable once installed — readers receive the live row, never a
+// copy — and hot Get lookups are served from a sharded read-through row
+// cache that commits invalidate before they return.
 package db
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ColType enumerates the column types supported by the store.
@@ -83,6 +88,11 @@ func (s Schema) column(name string) (Column, bool) {
 
 // Row is a single record: column name to value. Values must be int64,
 // string, float64, bool, or nil (for nullable columns).
+//
+// Rows handed out by Get and Scan are the live table rows: they must be
+// treated as immutable. Mutation goes through the transactional write API
+// (which installs a fresh row object on commit, copy-on-write) — callers
+// that want to derive an updated row Clone first.
 type Row map[string]any
 
 // clone returns a deep-enough copy (values are scalars).
@@ -93,6 +103,10 @@ func (r Row) clone() Row {
 	}
 	return c
 }
+
+// Clone returns a copy of the row. Rows returned by Get/Scan are shared,
+// immutable objects; Clone before mutating.
+func (r Row) Clone() Row { return r.clone() }
 
 // Errors returned by the store.
 var (
@@ -193,17 +207,101 @@ func (t *table) validate(r Row) error {
 	return nil
 }
 
+// txShardCount shards the open-transaction table so Begin/Commit pairs on
+// the read path never funnel through one mutex.
+const txShardCount = 16
+
+// txTable tracks live transactions so a crash can invalidate them and a
+// microreboot can abort them. Sharded by transaction id.
+type txTable struct {
+	shards [txShardCount]txShard
+}
+
+type txShard struct {
+	mu sync.Mutex
+	m  map[uint64]*Tx
+	// pad the shard to a cache line so neighboring shards don't false-share.
+	_ [40]byte
+}
+
+func (tt *txTable) shard(id uint64) *txShard { return &tt.shards[id%txShardCount] }
+
+func (tt *txTable) add(tx *Tx) {
+	s := tt.shard(tx.id)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[uint64]*Tx{}
+	}
+	s.m[tx.id] = tx
+	s.mu.Unlock()
+}
+
+func (tt *txTable) remove(id uint64) {
+	s := tt.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// invalidateAll marks every tracked transaction done and clears the table
+// (the crash path).
+func (tt *txTable) invalidateAll() {
+	for i := range tt.shards {
+		s := &tt.shards[i]
+		s.mu.Lock()
+		for _, tx := range s.m {
+			tx.invalidate()
+		}
+		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
+// collect returns the tracked transactions rejected by keep (nil keep
+// collects all).
+func (tt *txTable) collect(keep func(txID uint64) bool) []*Tx {
+	var out []*Tx
+	for i := range tt.shards {
+		s := &tt.shards[i]
+		s.mu.Lock()
+		for id, tx := range s.m {
+			if keep == nil || !keep(id) {
+				out = append(out, tx)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // DB is the database instance.
+//
+// Locking: mu is a reader/writer lock over the table state. Reads
+// (Get/Lookup/Scan/RowCount/...) take the shared side; anything that
+// mutates tables, rows, indexes or row locks (Insert/Update/Delete,
+// Commit, Crash/Recover, corruption/repair) takes the exclusive side.
+// Rows installed in tables are immutable — every write installs a fresh
+// Row object — so readers may hand the live row to callers without
+// copying. The crashed flag and the statistics counters are atomics so
+// the read fast path (including row-cache hits) never touches mu's write
+// side.
 type DB struct {
-	mu      sync.Mutex
-	tables  map[string]*table
-	wal     *WAL
-	nextTx  uint64
-	crashed bool
-	// openTxs tracks live transactions so a crash can invalidate them.
-	openTxs map[uint64]*Tx
+	mu     sync.RWMutex
+	tables map[string]*table
+	wal    *WAL
+	nextTx atomic.Uint64
+	// crashed is set under mu (write side) but read lock-free by the
+	// cache-hit fast path.
+	crashed atomic.Bool
+	// txs tracks live transactions so a crash can invalidate them.
+	txs txTable
+	// cache is the read-through row cache over committed rows. Fills
+	// happen under mu's read side; commits invalidate written keys while
+	// still holding the write side, so a cache hit is never older than
+	// the last committed write.
+	cache rowCache
 	// stats
-	commits, aborts, conflicts uint64
+	commits, aborts, conflicts atomic.Uint64
 }
 
 // New creates an empty database writing its log to the given WAL. A nil
@@ -212,13 +310,13 @@ func New(wal *WAL) *DB {
 	if wal == nil {
 		wal = NewWAL()
 	}
-	return &DB{tables: map[string]*table{}, wal: wal, nextTx: 1, openTxs: map[uint64]*Tx{}}
+	return &DB{tables: map[string]*table{}, wal: wal}
 }
 
 // CreateTable registers a new table.
 func (d *DB) CreateTable(s Schema) error {
 	d.mu.Lock()
-	if d.crashed {
+	if d.crashed.Load() {
 		d.mu.Unlock()
 		return ErrCrashed
 	}
@@ -237,8 +335,8 @@ func (d *DB) CreateTable(s Schema) error {
 
 // Tables returns the sorted table names.
 func (d *DB) Tables() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	names := make([]string, 0, len(d.tables))
 	for n := range d.tables {
 		names = append(names, n)
@@ -249,9 +347,12 @@ func (d *DB) Tables() []string {
 
 // Stats reports commit/abort/conflict counters.
 func (d *DB) Stats() (commits, aborts, conflicts uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.commits, d.aborts, d.conflicts
+	return d.commits.Load(), d.aborts.Load(), d.conflicts.Load()
+}
+
+// RowCacheStats reports row-cache hits, misses, and resident entries.
+func (d *DB) RowCacheStats() (hits, misses uint64, entries int) {
+	return d.cache.stats()
 }
 
 // Crash simulates a machine crash: all volatile state is dropped and every
@@ -260,12 +361,10 @@ func (d *DB) Stats() (commits, aborts, conflicts uint64) {
 func (d *DB) Crash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.crashed = true
-	for _, tx := range d.openTxs {
-		tx.invalidate()
-	}
-	d.openTxs = map[uint64]*Tx{}
+	d.crashed.Store(true)
+	d.txs.invalidateAll()
 	d.tables = map[string]*table{}
+	d.cache.reset()
 }
 
 // Recover replays the WAL, restoring all committed state. It is the
@@ -274,6 +373,7 @@ func (d *DB) Recover() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.tables = map[string]*table{}
+	d.cache.reset()
 	for _, rec := range d.wal.committed() {
 		switch rec.Kind {
 		case recCreateTable:
@@ -309,22 +409,20 @@ func (d *DB) Recover() error {
 			}
 		}
 	}
-	d.crashed = false
+	d.crashed.Store(false)
 	return nil
 }
 
 // Crashed reports whether the database is currently down.
 func (d *DB) Crashed() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.crashed
+	return d.crashed.Load()
 }
 
 // RowCount returns the number of rows in a table.
 func (d *DB) RowCount(tableName string) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.crashed {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.crashed.Load() {
 		return 0, ErrCrashed
 	}
 	t, ok := d.tables[tableName]

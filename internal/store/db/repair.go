@@ -11,17 +11,22 @@ import (
 // "by manually altering table contents" — bypassing the transactional
 // API — and observes that recovery requires database table repair (no
 // reboot level fixes it). These entry points reproduce that: CorruptRow
-// mutates a live row in place without validation or logging, CheckTable
-// detects schema violations, and RepairTable restores the damaged table
-// from the authoritative WAL history.
+// replaces a live row with a damaged copy without validation or logging,
+// CheckTable detects schema violations, and RepairTable restores the
+// damaged table from the authoritative WAL history.
 
 // CorruptRow overwrites one column of a committed row, bypassing
 // validation, locking and the WAL — as a stray pointer or operator error
 // would. It returns the previous value.
+//
+// The damage is installed copy-on-write (clone, mutate the clone, swap it
+// in) so lock-free readers holding the old row never observe a torn
+// write; they simply keep the pre-corruption value, as a racing read
+// would under any serialization.
 func (d *DB) CorruptRow(tableName string, key int64, column string, value any) (any, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.crashed {
+	if d.crashed.Load() {
 		return nil, ErrCrashed
 	}
 	tbl, ok := d.tables[tableName]
@@ -33,9 +38,12 @@ func (d *DB) CorruptRow(tableName string, key int64, column string, value any) (
 		return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
 	}
 	old := row[column]
+	damaged := row.clone()
+	damaged[column] = value
 	tbl.indexRemove(key, row)
-	row[column] = value
-	tbl.indexAdd(key, row)
+	tbl.rows[key] = damaged
+	tbl.indexAdd(key, damaged)
+	d.cache.invalidate(tableName, key)
 	return old, nil
 }
 
@@ -45,7 +53,7 @@ func (d *DB) CorruptRow(tableName string, key int64, column string, value any) (
 func (d *DB) SwapRows(tableName string, a, b int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.crashed {
+	if d.crashed.Load() {
 		return ErrCrashed
 	}
 	tbl, ok := d.tables[tableName]
@@ -65,17 +73,20 @@ func (d *DB) SwapRows(tableName string, a, b int64) error {
 	tbl.rows[a], tbl.rows[b] = rb, ra
 	tbl.indexAdd(a, rb)
 	tbl.indexAdd(b, ra)
+	d.cache.invalidate(tableName, a)
+	d.cache.invalidate(tableName, b)
 	return nil
 }
 
 // CheckTable validates every row of a table against its schema and
 // returns the keys of rows that fail ("null" and "invalid" corruption are
 // detectable this way; "wrong value" corruption is not, which is why the
-// paper marks those cases as requiring manual repair).
+// paper marks those cases as requiring manual repair). It only reads, so
+// it runs under the shared lock, concurrent with live traffic.
 func (d *DB) CheckTable(tableName string) ([]int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.crashed {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.crashed.Load() {
 		return nil, ErrCrashed
 	}
 	tbl, ok := d.tables[tableName]
@@ -99,7 +110,7 @@ func (d *DB) CheckTable(tableName string) ([]int64, error) {
 func (d *DB) RepairTable(tableName string) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.crashed {
+	if d.crashed.Load() {
 		return 0, ErrCrashed
 	}
 	old, ok := d.tables[tableName]
@@ -133,5 +144,8 @@ func (d *DB) RepairTable(tableName string) (int, error) {
 		fresh.nextKey = old.nextKey
 	}
 	d.tables[tableName] = fresh
+	// Every cached row of this table may now differ from the rebuilt
+	// truth; drop the whole cache rather than track per-table membership.
+	d.cache.reset()
 	return len(fresh.rows), nil
 }

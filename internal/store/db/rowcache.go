@@ -1,0 +1,125 @@
+package db
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// rowCache is a sharded read-through cache over committed rows, keyed
+// (table, key). It exists for the hot point lookups of the read-heavy
+// eBid mix (ViewItem/ViewUser), where the map probe under the table
+// RWMutex is the remaining cost.
+//
+// Consistency protocol (what keeps a hit from ever being stale):
+//
+//   - fills happen only while the filler holds db.mu's READ side, so a
+//     fill can never interleave with a commit's apply step;
+//   - Commit deletes every written (table,key) while still holding
+//     db.mu's WRITE side, before the commit returns;
+//   - Crash/Recover/RepairTable clear the whole cache under the write
+//     side; CorruptRow/SwapRows invalidate the affected keys.
+//
+// A reader that hits the cache without taking db.mu therefore observes a
+// value at least as new as the last commit that returned — i.e. the
+// cache is linearizable with respect to committed writes.
+const rowCacheShards = 32
+
+// rowCacheShardCap bounds resident entries per shard (~64K rows total),
+// enough for the hot set of the eBid dataset without unbounded growth.
+const rowCacheShardCap = 2048
+
+type rowCacheKey struct {
+	table string
+	key   int64
+}
+
+type rowCacheShard struct {
+	mu sync.RWMutex
+	m  map[rowCacheKey]Row
+	// hit/miss counters live per shard so the read path never bounces a
+	// single global cache line.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type rowCache struct {
+	shards [rowCacheShards]rowCacheShard
+}
+
+func rowCacheHash(table string, key int64) uint64 {
+	// FNV-1a over the table name, then mix in the row key.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(table); i++ {
+		h = (h ^ uint64(table[i])) * 1099511628211
+	}
+	h ^= uint64(key)
+	h *= 1099511628211
+	return h
+}
+
+func (c *rowCache) shard(table string, key int64) *rowCacheShard {
+	return &c.shards[rowCacheHash(table, key)%rowCacheShards]
+}
+
+func (c *rowCache) get(table string, key int64) (Row, bool) {
+	s := c.shard(table, key)
+	s.mu.RLock()
+	r, ok := s.m[rowCacheKey{table, key}]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return r, ok
+}
+
+// put installs a committed row. Callers must hold db.mu (read side is
+// enough — see the protocol above).
+func (c *rowCache) put(table string, key int64, r Row) {
+	s := c.shard(table, key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[rowCacheKey]Row, 64)
+	}
+	if len(s.m) >= rowCacheShardCap {
+		// Evict an arbitrary entry; the map's iteration order gives us a
+		// cheap pseudo-random victim.
+		for k := range s.m {
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[rowCacheKey{table, key}] = r
+	s.mu.Unlock()
+}
+
+// invalidate drops one key. Callers must hold db.mu's write side.
+func (c *rowCache) invalidate(table string, key int64) {
+	s := c.shard(table, key)
+	s.mu.Lock()
+	delete(s.m, rowCacheKey{table, key})
+	s.mu.Unlock()
+}
+
+// reset drops everything. Callers must hold db.mu's write side.
+func (c *rowCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
+func (c *rowCache) stats() (hits, misses uint64, entries int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		entries += len(s.m)
+		s.mu.RUnlock()
+		hits += s.hits.Load()
+		misses += s.misses.Load()
+	}
+	return hits, misses, entries
+}

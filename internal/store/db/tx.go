@@ -2,6 +2,7 @@ package db
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Tx is a transaction. Reads see a consistent view (committed state plus
@@ -9,38 +10,52 @@ import (
 // until commit or abort (strict two-phase locking). Lock conflicts fail
 // fast with ErrConflict rather than blocking — in the crash-only design,
 // callers treat a conflict like any other retryable failure.
+//
+// Reads take only db.mu's shared side (or none at all on a row-cache
+// hit) and return the live, immutable row without copying; writes and
+// Commit take the exclusive side. A Tx is owned by one goroutine — its
+// overlay is not synchronized — but the store may invalidate or abort it
+// concurrently (crash, microreboot), which the atomic done flag makes
+// safe.
 type Tx struct {
 	db   *DB
 	id   uint64
-	done bool
+	done atomic.Bool
 	// writes buffers mutations: applied to tables (and the WAL) only at
 	// commit. Key order is preserved for deterministic WAL contents.
 	writes []walRecord
-	// locked remembers the row locks held: table → row ids.
+	// locked remembers the row locks held: table → row ids. Mutated only
+	// under db.mu's write side.
 	locked map[string]map[int64]struct{}
-	// written overlays the tx's own uncommitted writes for reads:
-	// table → key → row (nil row means deleted).
+	// overlay holds the tx's own uncommitted writes for reads:
+	// table → key → row (nil row means deleted). Owner-goroutine only.
 	overlay map[string]map[int64]Row
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction. It takes no database lock: transaction ids
+// come from an atomic counter and registration goes to a sharded table,
+// so starting the read-only transactions that dominate the workload never
+// queues behind a commit.
 func (d *DB) Begin() (*Tx, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.crashed {
+	if d.crashed.Load() {
 		return nil, ErrCrashed
 	}
 	// locked and overlay maps are created lazily on first write, so
 	// read-only transactions (the bulk of the workload) allocate neither.
-	tx := &Tx{db: d, id: d.nextTx}
-	d.nextTx++
-	d.openTxs[tx.id] = tx
+	tx := &Tx{db: d, id: d.nextTx.Add(1)}
+	d.txs.add(tx)
+	// A crash may have landed between the check above and the add; make
+	// sure no live Tx escapes a crashed database.
+	if d.crashed.Load() {
+		d.txs.remove(tx.id)
+		return nil, ErrCrashed
+	}
 	return tx, nil
 }
 
-// invalidate is called with db.mu held when the database crashes under an
-// open transaction.
-func (t *Tx) invalidate() { t.done = true }
+// invalidate marks the transaction unusable when the database crashes
+// under it.
+func (t *Tx) invalidate() { t.done.Store(true) }
 
 // ID returns the transaction's identifier.
 func (t *Tx) ID() uint64 { return t.id }
@@ -54,10 +69,11 @@ func (t *Tx) table(name string) (*table, error) {
 }
 
 // lock acquires the exclusive lock for (table, key) or fails fast.
+// Caller holds db.mu's write side.
 func (t *Tx) lock(tbl *table, tableName string, key int64) error {
 	owner, held := tbl.locks[key]
 	if held && owner != t.id {
-		t.db.conflicts++
+		t.db.conflicts.Add(1)
 		return fmt.Errorf("%w: row %d of %s held by tx %d", ErrConflict, key, tableName, owner)
 	}
 	tbl.locks[key] = t.id
@@ -95,10 +111,10 @@ func (t *Tx) overlaySet(tableName string, key int64, r Row) {
 }
 
 func (t *Tx) guard() error {
-	if t.done {
+	if t.done.Load() {
 		return ErrTxDone
 	}
-	if t.db.crashed {
+	if t.db.crashed.Load() {
 		return ErrCrashed
 	}
 	return nil
@@ -164,29 +180,50 @@ func (t *Tx) InsertWithKey(tableName string, key int64, r Row) error {
 	return nil
 }
 
-// Get returns a copy of the row with the given key, honoring the
-// transaction's own uncommitted writes.
+// Get returns the row with the given key, honoring the transaction's own
+// uncommitted writes. The returned row is the live, immutable table row
+// (or the tx's overlay row) — callers must Clone before mutating.
+//
+// The hot path is lock-free: a row-cache hit returns without touching
+// db.mu at all. On a miss the committed row is read and cached under the
+// shared lock.
 func (t *Tx) Get(tableName string, key int64) (Row, error) {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	if err := t.guard(); err != nil {
-		return nil, err
+	if t.done.Load() {
+		return nil, ErrTxDone
 	}
-	tbl, err := t.table(tableName)
-	if err != nil {
-		return nil, err
-	}
-	if r, ok := t.overlayGet(tableName, key); ok {
-		if r == nil {
-			return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+	if t.overlay != nil {
+		if r, ok := t.overlayGet(tableName, key); ok {
+			if r == nil {
+				return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+			}
+			return r, nil
 		}
-		return r.clone(), nil
+	}
+	d := t.db
+	if r, ok := d.cache.get(tableName, key); ok && !d.crashed.Load() {
+		return r, nil
+	}
+	d.mu.RLock()
+	if d.crashed.Load() {
+		d.mu.RUnlock()
+		return nil, ErrCrashed
+	}
+	tbl, ok := d.tables[tableName]
+	if !ok {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, tableName)
 	}
 	r, ok := tbl.rows[key]
+	if ok {
+		// Fill while still holding the shared lock: no commit can be
+		// mid-apply, so the cached value cannot be stale.
+		d.cache.put(tableName, key, r)
+	}
+	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
 	}
-	return r.clone(), nil
+	return r, nil
 }
 
 // Update overwrites the row with the given key. The row is validated.
@@ -251,17 +288,19 @@ func (t *Tx) Delete(tableName string, key int64) error {
 // value. The column must be declared in Schema.Indexes. Uncommitted writes
 // of this transaction are merged in.
 func (t *Tx) Lookup(tableName, column string, value any) ([]int64, error) {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.db.mu.RLock()
 	if err := t.guard(); err != nil {
+		t.db.mu.RUnlock()
 		return nil, err
 	}
 	tbl, err := t.table(tableName)
 	if err != nil {
+		t.db.mu.RUnlock()
 		return nil, err
 	}
 	idx, ok := tbl.indexes[column]
 	if !ok {
+		t.db.mu.RUnlock()
 		return nil, fmt.Errorf("db: no index on %s.%s", tableName, column)
 	}
 	seen := map[int64]bool{}
@@ -270,7 +309,8 @@ func (t *Tx) Lookup(tableName, column string, value any) ([]int64, error) {
 		seen[id] = true
 		keys = append(keys, id)
 	}
-	// Merge this transaction's overlay.
+	t.db.mu.RUnlock()
+	// Merge this transaction's overlay (owner-only state; no lock needed).
 	for id, row := range t.overlay[tableName] {
 		if row == nil {
 			if seen[id] {
@@ -293,10 +333,11 @@ func (t *Tx) Lookup(tableName, column string, value any) ([]int64, error) {
 }
 
 // Scan calls fn for every committed row (merged with the transaction's
-// overlay) in ascending key order. fn must not retain the row.
+// overlay) in ascending key order. Rows passed to fn are the live,
+// immutable table rows — fn may retain them but must not mutate.
 func (t *Tx) Scan(tableName string, fn func(key int64, r Row) bool) error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if err := t.guard(); err != nil {
 		return err
 	}
@@ -345,20 +386,32 @@ func sort64(s []int64) {
 // commit's flush, and it waits for that flush only after releasing the
 // database lock, so concurrent commits coalesce instead of serializing
 // one flush each.
+//
+// Read-only transactions take a fast path: no exclusive lock, no WAL
+// commit mark — committing a transaction with no writes is a pure
+// bookkeeping operation.
 func (t *Tx) Commit() error {
-	t.db.mu.Lock()
-	if err := t.guard(); err != nil {
-		t.db.mu.Unlock()
-		return err
+	d := t.db
+	if len(t.writes) == 0 {
+		if !t.done.CompareAndSwap(false, true) {
+			return ErrTxDone
+		}
+		d.txs.remove(t.id)
+		d.commits.Add(1)
+		return nil
 	}
-	t.done = true
-	delete(t.db.openTxs, t.id)
+	d.mu.Lock()
+	if !t.done.CompareAndSwap(false, true) {
+		d.mu.Unlock()
+		return ErrTxDone
+	}
+	d.txs.remove(t.id)
 	// Durability first: the WAL records the commit before tables mutate.
 	// The in-memory log (what Recover replays) is written synchronously
 	// here; only the sink flush is deferred to the group.
-	wait := t.db.wal.appendCommit(t.id, t.writes)
+	wait := d.wal.appendCommit(t.id, t.writes)
 	for _, w := range t.writes {
-		tbl := t.db.tables[w.Table]
+		tbl := d.tables[w.Table]
 		switch w.Kind {
 		case recInsert, recUpdate:
 			if old, ok := tbl.rows[w.Key]; ok {
@@ -372,10 +425,14 @@ func (t *Tx) Commit() error {
 				delete(tbl.rows, w.Key)
 			}
 		}
+		// Invalidate before the commit returns (still under the exclusive
+		// lock) so no reader can observe a pre-commit cached value after
+		// this commit is acknowledged.
+		d.cache.invalidate(w.Table, w.Key)
 	}
 	t.releaseLocks()
-	t.db.commits++
-	t.db.mu.Unlock()
+	d.commits.Add(1)
+	d.mu.Unlock()
 	wait.Wait()
 	return nil
 }
@@ -386,25 +443,24 @@ func (t *Tx) Commit() error {
 // they are all automatically aborted by the container and rolled back by
 // the database."
 func (t *Tx) Abort() error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	if t.done {
+	d := t.db
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !t.done.CompareAndSwap(false, true) {
 		return ErrTxDone
 	}
-	t.done = true
-	delete(t.db.openTxs, t.id)
+	d.txs.remove(t.id)
 	t.releaseLocks()
-	t.db.aborts++
+	d.aborts.Add(1)
 	return nil
 }
 
 // Done reports whether the transaction has committed or aborted.
 func (t *Tx) Done() bool {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	return t.done
+	return t.done.Load()
 }
 
+// releaseLocks drops all row locks. Caller holds db.mu's write side.
 func (t *Tx) releaseLocks() {
 	for tableName, keys := range t.locked {
 		tbl := t.db.tables[tableName]
@@ -425,14 +481,7 @@ func (t *Tx) releaseLocks() {
 // the number aborted. The microreboot machinery uses this to roll back
 // transactions belonging to rebooted components.
 func (d *DB) AbortAll(keep func(txID uint64) bool) int {
-	d.mu.Lock()
-	var victims []*Tx
-	for id, tx := range d.openTxs {
-		if keep == nil || !keep(id) {
-			victims = append(victims, tx)
-		}
-	}
-	d.mu.Unlock()
+	victims := d.txs.collect(keep)
 	for _, tx := range victims {
 		_ = tx.Abort() // already-finished txs are fine
 	}
