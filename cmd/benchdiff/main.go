@@ -60,7 +60,9 @@ type result struct {
 // ("  524792\t 1027 ns/op\t 12 B/op\t 1 allocs/op"). benchFull matches the
 // single-line form, benchName/benchCounters the split form, which
 // parseBench stitches back together per package. The -N GOMAXPROCS
-// suffix is stripped so runs from different machines stay comparable.
+// suffix is stripped so runs from different machines stay comparable —
+// unless one artifact holds a -cpu sweep (several distinct counts), in
+// which case the suffix is kept so each cpu point trends independently.
 var (
 	benchFull     = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 	benchName     = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s*$`)
@@ -104,13 +106,72 @@ func parseResult(nsText, rest string) (result, bool) {
 	return r, true
 }
 
+// benchRun is one parsed artifact: benchmark → result, plus the set of
+// cpu counts its bench lines ran at (from the -N GOMAXPROCS suffix;
+// lines without one ran at 1). The cpu set is what makes the trend gate
+// runner-aware: diffing a 4-core baseline against a 1-core run is not a
+// perf trend, and the gate skips rather than poisons itself.
+type benchRun struct {
+	results map[string]result
+	cpus    map[string]bool
+}
+
+// cpuList renders the run's cpu counts, sorted, for messages.
+func (r benchRun) cpuList() string {
+	var cs []string
+	for c := range r.cpus {
+		cs = append(cs, c)
+	}
+	sort.Strings(cs)
+	return strings.Join(cs, ",")
+}
+
+// sameCPUs reports whether two runs were taken at the same cpu counts.
+func sameCPUs(a, b benchRun) bool {
+	if len(a.cpus) != len(b.cpus) {
+		return false
+	}
+	for c := range a.cpus {
+		if !b.cpus[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// cpuOf normalizes a "-N" suffix match to the cpu count it encodes (no
+// suffix means the bench ran at one proc).
+func cpuOf(suffix string) string {
+	if suffix == "" {
+		return "1"
+	}
+	return strings.TrimPrefix(suffix, "-")
+}
+
+// benchEntry is one parsed bench line, held until the whole stream is
+// read: only then is it known whether the artifact is a -cpu sweep
+// (suffixes kept in keys) or a single-count run (suffixes stripped).
+type benchEntry struct {
+	pkg, name, suffix string
+	res               result
+}
+
 // parseBench extracts benchmark → result from a test2json stream. A
 // benchmark that appears more than once (reruns) keeps its last value.
 func parseBench(r io.Reader) (map[string]result, error) {
-	out := map[string]result{}
-	// pending holds the bench name seen on a name-only line, per package,
-	// awaiting its counters line.
-	pending := map[string]string{}
+	run, err := parseBenchRun(r)
+	return run.results, err
+}
+
+// parseBenchRun is parseBench plus the cpu-count set; main uses it so
+// the gate can refuse cross-cpu diffs.
+func parseBenchRun(r io.Reader) (benchRun, error) {
+	run := benchRun{results: map[string]result{}, cpus: map[string]bool{}}
+	var entries []benchEntry
+	// pending holds the (name, suffix) seen on a name-only line, per
+	// package, awaiting its counters line.
+	type pendingName struct{ name, suffix string }
+	pending := map[string]pendingName{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -129,28 +190,42 @@ func parseBench(r io.Reader) (map[string]result, error) {
 		text := strings.TrimSpace(ev.Output)
 		if m := benchFull.FindStringSubmatch(text); m != nil {
 			if res, ok := parseResult(m[3], m[4]); ok {
-				out[ev.Package+"."+m[1]] = res
+				entries = append(entries, benchEntry{ev.Package, m[1], m[2], res})
 			}
 			delete(pending, ev.Package)
 			continue
 		}
 		if m := benchName.FindStringSubmatch(text); m != nil {
-			pending[ev.Package] = m[1]
+			pending[ev.Package] = pendingName{m[1], m[2]}
 			continue
 		}
 		if m := benchCounters.FindStringSubmatch(text); m != nil {
-			name, ok := pending[ev.Package]
+			p, ok := pending[ev.Package]
 			if !ok {
 				continue
 			}
 			if res, ok := parseResult(m[1], m[2]); ok {
-				out[ev.Package+"."+name] = res
+				entries = append(entries, benchEntry{ev.Package, p.name, p.suffix, res})
 			}
 			delete(pending, ev.Package)
 			continue
 		}
 	}
-	return out, sc.Err()
+	for _, e := range entries {
+		run.cpus[cpuOf(e.suffix)] = true
+	}
+	// A -cpu sweep keeps the suffix so each cpu point trends on its own;
+	// a single-count run strips it so runs from machines with different
+	// core counts stay comparable.
+	sweep := len(run.cpus) > 1
+	for _, e := range entries {
+		key := e.pkg + "." + e.name
+		if sweep {
+			key += e.suffix
+		}
+		run.results[key] = e.res
+	}
+	return run, sc.Err()
 }
 
 // movement is one benchmark's old→new comparison.
@@ -243,13 +318,13 @@ func diff(oldRun, newRun map[string]result) (moves []movement, onlyOld, onlyNew 
 	return moves, onlyOld, onlyNew
 }
 
-func parseFile(path string) (map[string]result, error) {
+func parseFile(path string) (benchRun, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return benchRun{}, err
 	}
 	defer f.Close()
-	return parseBench(f)
+	return parseBenchRun(f)
 }
 
 // describe renders one movement, appending the alloc column when both
@@ -285,20 +360,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	oldRun, err := parseFile(*oldPath)
+	oldParsed, err := parseFile(*oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	newRun, err := parseFile(*newPath)
+	newParsed, err := parseFile(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+	oldRun, newRun := oldParsed.results, newParsed.results
 	if len(oldRun) == 0 {
 		// An empty baseline (first run on a branch, artifact expired) is
 		// not a regression; say so and succeed.
 		fmt.Printf("benchdiff: baseline has no benchmark results; nothing to compare (%d current)\n", len(newRun))
+		return
+	}
+	if !sameCPUs(oldParsed, newParsed) {
+		// A runner change (different core count, or a sweep added/removed)
+		// makes the trend meaningless: warn and skip the gate rather than
+		// fail the PR or silently poison the trend with apples-to-oranges
+		// percentages.
+		fmt.Printf("::warning::benchdiff: cpu counts differ between runs (baseline at [%s], current at [%s]); skipping bench gate — perf trends across cpu counts are not comparable\n",
+			oldParsed.cpuList(), newParsed.cpuList())
 		return
 	}
 	moves, onlyOld, onlyNew := diff(oldRun, newRun)

@@ -226,6 +226,69 @@ func TestDiffFlagsThroughputDrops(t *testing.T) {
 	}
 }
 
+// A -cpu sweep artifact (one bench at several GOMAXPROCS counts) must
+// keep the -N suffix in the keys — collapsing the sweep would let the
+// last-parsed cpu point silently overwrite the others — while a
+// single-count artifact still strips it for cross-machine comparability.
+const sweepStream = `
+{"Action":"output","Package":"repro","Output":"BenchmarkInvokeOpsPerSecParallel/ReadHeavy \t  500000\t      3000 ns/op\t    330000 ops/s\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkInvokeOpsPerSecParallel/ReadHeavy-2 \t  500000\t      2500 ns/op\t    400000 ops/s\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkInvokeOpsPerSecParallel/ReadHeavy-4 \t  500000\t      2100 ns/op\t    480000 ops/s\n"}
+`
+
+func TestParseBenchKeepsSuffixForCPUSweep(t *testing.T) {
+	run, err := parseBenchRun(strings.NewReader(sweepStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.cpus) != 3 || !run.cpus["1"] || !run.cpus["2"] || !run.cpus["4"] {
+		t.Fatalf("cpus = %v, want {1,2,4}", run.cpus)
+	}
+	if run.cpuList() != "1,2,4" {
+		t.Fatalf("cpuList = %q", run.cpuList())
+	}
+	if len(run.results) != 3 {
+		t.Fatalf("results = %v, want 3 distinct cpu points", run.results)
+	}
+	if run.results["repro.BenchmarkInvokeOpsPerSecParallel/ReadHeavy-4"].metrics["ops/s"] != 480000 {
+		t.Fatalf("4-cpu point missing: %v", run.results)
+	}
+	if run.results["repro.BenchmarkInvokeOpsPerSecParallel/ReadHeavy"].metrics["ops/s"] != 330000 {
+		t.Fatalf("1-cpu point missing: %v", run.results)
+	}
+}
+
+func TestParseBenchRecordsSingleCPUCount(t *testing.T) {
+	run, err := parseBenchRun(strings.NewReader(oldStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.cpus) != 1 || !run.cpus["4"] {
+		t.Fatalf("cpus = %v, want {4}", run.cpus)
+	}
+	// Single-count artifacts keep stripping the suffix.
+	for name := range run.results {
+		if strings.HasSuffix(name, "-4") {
+			t.Fatalf("single-count run kept its suffix: %s", name)
+		}
+	}
+}
+
+func TestSameCPUsDetectsRunnerChanges(t *testing.T) {
+	at4, _ := parseBenchRun(strings.NewReader(oldStream))     // bench lines at -4
+	at8, _ := parseBenchRun(strings.NewReader(newStream))     // bench lines at -8
+	sweep, _ := parseBenchRun(strings.NewReader(sweepStream)) // 1,2,4
+	if sameCPUs(at4, at8) {
+		t.Fatal("4-core vs 8-core runs reported comparable")
+	}
+	if sameCPUs(at4, sweep) {
+		t.Fatal("single-count vs sweep runs reported comparable")
+	}
+	if !sameCPUs(at4, at4) || !sameCPUs(sweep, sweep) {
+		t.Fatal("identical cpu sets reported incomparable")
+	}
+}
+
 func TestDiffIdenticalRunsAreQuiet(t *testing.T) {
 	run, _ := parseBench(strings.NewReader(oldStream))
 	moves, onlyOld, onlyNew := diff(run, run)

@@ -140,6 +140,63 @@ type Call struct {
 	// call so binding a root context costs no allocation. Only
 	// meaningful on the root call of a request.
 	shep shepherd
+
+	// Typed result slots: the result-side mirror of the typed arg
+	// codecs. A component whose result is one of the hot shapes (a
+	// rendered body string, a key list) writes it here and returns the
+	// SlotResult sentinel from Serve instead of boxing the value through
+	// `any` — the sentinel is a package variable, so returning it
+	// allocates nothing. Callers that see SlotResult read the slot;
+	// everything else flows through `any` exactly as before, which is
+	// what keeps the fault-injection interceptors (which fabricate plain
+	// `any` results) and the sim/figure callers working unchanged.
+	resBody    string
+	hasResBody bool
+	resKeys    []int64
+	hasResKeys bool
+}
+
+// slotResult is the sentinel type returned (as its package-var instance
+// SlotResult) by components that deposited their result in the call's
+// typed result slots.
+type slotResult struct{}
+
+// SlotResult signals "the result is in the call's typed result slots".
+var SlotResult any = slotResult{}
+
+// SetBodyResult deposits a rendered body string in the call's result
+// slot. Return SlotResult from Serve after calling it.
+func (c *Call) SetBodyResult(body string) {
+	c.resBody = body
+	c.hasResBody = true
+}
+
+// BodyResult reads (and clears) the body result slot.
+func (c *Call) BodyResult() (string, bool) {
+	if !c.hasResBody {
+		return "", false
+	}
+	s := c.resBody
+	c.resBody, c.hasResBody = "", false
+	return s, true
+}
+
+// SetKeysResult deposits a key-list result in the call's result slot.
+// The slice is retained until read or Release; callers hand over
+// ownership.
+func (c *Call) SetKeysResult(keys []int64) {
+	c.resKeys = keys
+	c.hasResKeys = true
+}
+
+// KeysResult reads (and clears) the key-list result slot.
+func (c *Call) KeysResult() ([]int64, bool) {
+	if !c.hasResKeys {
+		return nil, false
+	}
+	k := c.resKeys
+	c.resKeys, c.hasResKeys = nil, false
+	return k, true
 }
 
 // callPool recycles Call objects across requests. A Call holds a mutex
@@ -196,6 +253,8 @@ func (c *Call) Release() bool {
 	c.Path = c.Path[:0] // keep capacity: Via appends stay allocation-free
 	c.parent = nil
 	c.trackPrev, c.trackNext = nil, nil
+	c.resBody, c.hasResBody = "", false
+	c.resKeys, c.hasResKeys = nil, false
 	callPool.Put(c)
 	return true
 }

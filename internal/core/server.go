@@ -154,8 +154,10 @@ type Server struct {
 	hangPark atomic.Bool
 
 	// txs tracks open database transactions per component so a µRB can
-	// abort exactly the transactions its components were driving.
-	txs map[string]map[*db.Tx]struct{}
+	// abort exactly the transactions its components were driving. The
+	// value is the transaction id at registration time: Tx objects are
+	// pooled, so aborts go through the generation-checked AbortIf.
+	txs map[string]map[*db.Tx]uint64
 
 	// delayBeforeCrash is the optional grace delay between sentinel
 	// rebind and the crash phase (Section 6.2's 200 ms experiment).
@@ -205,7 +207,7 @@ func NewServer(opts ...Option) *Server {
 		resources:  map[string]any{},
 		now:        func() time.Duration { return 0 },
 		costs:      uniformCost{},
-		txs:        map[string]map[*db.Tx]struct{}{},
+		txs:        map[string]map[*db.Tx]uint64{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -584,10 +586,13 @@ func (s *Server) RegisterTx(component string, tx *db.Tx) {
 	defer s.mu.Unlock()
 	set := s.txs[component]
 	if set == nil {
-		set = map[*db.Tx]struct{}{}
+		set = map[*db.Tx]uint64{}
 		s.txs[component] = set
 	}
-	set[tx] = struct{}{}
+	// Remember the id alongside the pointer: Tx objects are pooled, so a
+	// later abort must be generation-checked (db.Tx.AbortIf) to be sure
+	// it hits this registration's transaction and not a recycled reuse.
+	set[tx] = tx.ID()
 }
 
 // ReleaseTx removes a finished transaction from tracking.
@@ -706,10 +711,14 @@ func (s *Server) beginScoped(scope Scope, names ...string) (*Reboot, error) {
 	for _, m := range members {
 		containers = append(containers, s.containers[m])
 	}
-	var victims []*db.Tx
+	type txVictim struct {
+		tx *db.Tx
+		id uint64
+	}
+	var victims []txVictim
 	for _, m := range members {
-		for tx := range s.txs[m] {
-			victims = append(victims, tx)
+		for tx, id := range s.txs[m] {
+			victims = append(victims, txVictim{tx: tx, id: id})
 		}
 		delete(s.txs, m)
 	}
@@ -736,9 +745,11 @@ func (s *Server) beginScoped(scope Scope, names ...string) (*Reboot, error) {
 			rb.KilledCalls = append(rb.KilledCalls, root)
 		}
 	}
-	for _, tx := range victims {
-		if !tx.Done() {
-			_ = tx.Abort()
+	// Generation-checked abort: a registered transaction that finished
+	// (and was pool-recycled) after collection fails the id check and is
+	// skipped, instead of aborting the pointer's new owner.
+	for _, v := range victims {
+		if v.tx.AbortIf(v.id) == nil {
 			rb.AbortedTxs++
 		}
 	}

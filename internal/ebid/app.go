@@ -70,6 +70,13 @@ func (w *war) Serve(ctx context.Context, call *core.Call) (any, error) {
 	// pipeline and inherits this request's shepherd context.
 	child := call.Child(call.Op, call.Args)
 	res, err := w.env.Server.Invoke(ctx, call.Op, child)
+	// Propagate a slotted body from the child to this call before the
+	// child is recycled, so the result string never transits `any`.
+	if res == core.SlotResult {
+		if body, ok := child.BodyResult(); ok {
+			call.SetBodyResult(body)
+		}
+	}
 	child.Release()
 	return res, err
 }
@@ -133,6 +140,17 @@ func (a *App) Execute(ctx context.Context, call *core.Call) (string, error) {
 	res, err := a.Server.Invoke(ctx, a.warName, call)
 	if err != nil {
 		return "", err
+	}
+	// Typed result slot first: ops that rendered a body deposited it on
+	// the call and returned the SlotResult sentinel. The `any` fallback
+	// stays for static pages and for fault-injection interceptors, whose
+	// fabricated results short-circuit the op (the slot is never set, so
+	// injected corruption still reaches the comparison detector).
+	if res == core.SlotResult {
+		if body, ok := call.BodyResult(); ok {
+			return body, nil
+		}
+		return "", nil
 	}
 	body, ok := res.(string)
 	if !ok {

@@ -114,16 +114,25 @@ func (e *entity) txFrom(v entityArgView) (tx *db.Tx, auto bool, err error) {
 }
 
 // finishTx settles an auto-commit transaction: abort on failure, commit
-// on success. Caller-supplied transactions pass through untouched.
+// on success. Caller-supplied transactions pass through untouched. A
+// transaction this goroutine settled itself goes back to the Tx pool;
+// one finished under us (crash invalidation, µRB rollback) is left to
+// the GC, since the finisher may still be touching it.
 func finishTx(tx *db.Tx, auto bool, err error) error {
 	if !auto {
 		return err
 	}
 	if err != nil {
-		_ = tx.Abort()
+		if tx.Abort() == nil {
+			tx.Recycle()
+		}
 		return err
 	}
-	return tx.Commit()
+	if cerr := tx.Commit(); cerr != nil {
+		return cerr
+	}
+	tx.Recycle()
+	return nil
 }
 
 // Serve implements core.Component: the entity sub-operations.
@@ -159,7 +168,19 @@ func (e *entity) Serve(ctx context.Context, call *core.Call) (any, error) {
 		}
 		err = tx.Update(e.table, v.key, v.row)
 	case opByIndex:
-		res, err = tx.Lookup(e.table, v.col, v.val)
+		var keys []int64
+		keys, err = tx.Lookup(e.table, v.col, v.val)
+		if err == nil {
+			if _, typed := call.Args.(*EntityArgs); typed {
+				// Typed-codec callers read the key list from the call's
+				// result slot, skipping the []int64→any boxing. Map-args
+				// callers (figures, tests) keep the boxed result.
+				call.SetKeysResult(keys)
+				res = core.SlotResult
+			} else {
+				res = keys
+			}
+		}
 	case opList:
 		limit := v.limit
 		if limit <= 0 {
@@ -212,7 +233,11 @@ func (m *idManager) Init(env *core.Env) error {
 		// the cache is rebuilt lazily in that case.
 		return nil
 	}
-	defer tx.Abort()
+	defer func() {
+		if tx.Abort() == nil {
+			tx.Recycle()
+		}
+	}()
 	_ = tx.Scan(TblIDSeq, func(k int64, r db.Row) bool {
 		if kind, ok := r["kind"].(string); ok {
 			m.seqKeys[kind] = k
@@ -244,8 +269,8 @@ func (m *idManager) Serve(ctx context.Context, call *core.Call) (any, error) {
 			return nil, err
 		}
 		defer func() {
-			if !tx.Done() {
-				_ = tx.Commit()
+			if !tx.Done() && tx.Commit() == nil {
+				tx.Recycle()
 			}
 		}()
 	}
@@ -259,7 +284,9 @@ func (m *idManager) Serve(ctx context.Context, call *core.Call) (any, error) {
 		seqKey = keys[0]
 		m.seqKeys[kind] = seqKey
 	}
-	row, err := tx.Get(TblIDSeq, seqKey)
+	// Lock-then-read: a plain Get would let two concurrent allocations
+	// both observe the same counter and hand out duplicate ids.
+	row, err := tx.GetForUpdate(TblIDSeq, seqKey)
 	if err != nil {
 		return nil, err
 	}

@@ -99,6 +99,17 @@ func (r *renderBuf) done() string {
 	return s
 }
 
+// doneInterned is done() for hot, repetitive bodies: it returns the
+// interned canonical string for the rendered bytes (zero conversions on
+// a hit) and recycles the builder. Semantically identical to done() —
+// same bytes in, same string out — so callers choose purely on body
+// temperature: the read-only view ops intern, everything else copies.
+func (r *renderBuf) doneInterned() string {
+	s := interned.intern(r.b)
+	r.release()
+	return s
+}
+
 // release recycles the builder without materializing a string.
 func (r *renderBuf) release() {
 	r.b = r.b[:0]

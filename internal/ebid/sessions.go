@@ -29,6 +29,25 @@ func invokeEntity(ctx context.Context, env *core.Env, call *core.Call, entityNam
 	return res, err
 }
 
+// invokeEntityKeys is invokeEntity for the opByIndex sub-operation: the
+// entity deposits its key list in the child call's typed result slot, so
+// the slice comes back without being boxed through `any`. The res
+// fallback keeps map-args (legacy) and fault-injected results working.
+func invokeEntityKeys(ctx context.Context, env *core.Env, call *core.Call, entityName string, args core.Args) ([]int64, error) {
+	child := call.Child(opByIndex, args)
+	res, err := env.Server.Invoke(ctx, entityName, child)
+	keys, ok := child.KeysResult()
+	if !ok {
+		keys, _ = res.([]int64)
+	}
+	if child.Release() {
+		if ea, ok := args.(*EntityArgs); ok {
+			ea.release()
+		}
+	}
+	return keys, err
+}
+
 // argInt64 reads one int64 operation argument, decoding straight off the
 // typed codec when present (no boxing) and falling back to the generic
 // path for map-backed args.
@@ -54,7 +73,7 @@ func argFloat64(call *core.Call, name string) (float64, bool) {
 func sessionStore(env *core.Env) (session.Store, error) {
 	s, ok := core.Resource[session.Store](env, ResourceSessions)
 	if !ok {
-		return nil, errors.New("ebid: no session store resource")
+		return nil, errNoSessionStore
 	}
 	return s, nil
 }
@@ -95,12 +114,26 @@ func (s *sessionComponent) Serve(ctx context.Context, call *core.Call) (any, err
 	return s.op(ctx, s.env, call)
 }
 
+// Pre-built hot-path errors: these branches fire on every faulty or
+// misrouted request under injection campaigns, so they must not allocate
+// (fmt.Errorf/errors.New with no dynamic operands build the same string
+// every time).
+var (
+	errNoDatabase       = errors.New("ebid: no database resource")
+	errNoSessionStore   = errors.New("ebid: no session store resource")
+	errTxAbortedInRecov = errors.New("ebid: transaction aborted during recovery")
+	errAuthBadUserID    = errors.New("ebid: Authenticate: bad user id")
+	errBidNoItem        = errors.New("ebid: CommitBid: no item selected")
+	errBuyNowNoItem     = errors.New("ebid: CommitBuyNow: no item selected")
+	errFeedbackNoTarget = errors.New("ebid: CommitUserFeedback: no feedback target")
+)
+
 // beginTx starts a transaction on behalf of the named component and
 // registers it with the server so that a µRB of the component aborts it.
 func beginTx(env *core.Env, name string) (*db.Tx, func(err error) error, error) {
 	d, ok := core.Resource[*db.DB](env, ResourceDB)
 	if !ok {
-		return nil, nil, errors.New("ebid: no database resource")
+		return nil, nil, errNoDatabase
 	}
 	tx, err := d.Begin()
 	if err != nil {
@@ -108,19 +141,32 @@ func beginTx(env *core.Env, name string) (*db.Tx, func(err error) error, error) 
 	}
 	env.Server.RegisterTx(name, tx)
 	finish := func(opErr error) error {
-		defer env.Server.ReleaseTx(name, tx)
 		if tx.Done() {
 			// Aborted under us (µRB rollback).
+			env.Server.ReleaseTx(name, tx)
 			if opErr == nil {
-				opErr = errors.New("ebid: transaction aborted during recovery")
+				opErr = errTxAbortedInRecov
 			}
 			return opErr
 		}
 		if opErr != nil {
-			_ = tx.Abort()
+			aborted := tx.Abort() == nil
+			env.Server.ReleaseTx(name, tx)
+			if aborted {
+				tx.Recycle()
+			}
 			return opErr
 		}
-		return tx.Commit()
+		cerr := tx.Commit()
+		// Unregister before recycling: once the Tx goes back to the pool
+		// it may be re-begun and re-registered, and the stale
+		// registration must not still be present to collide with it.
+		env.Server.ReleaseTx(name, tx)
+		if cerr != nil {
+			return cerr
+		}
+		tx.Recycle()
+		return nil
 	}
 	return tx, finish, nil
 }
@@ -131,7 +177,7 @@ func beginTx(env *core.Env, name string) (*db.Tx, func(err error) error, error) 
 func opAuthenticate(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
 	userID, ok := argInt64(call, "user")
 	if !ok || userID <= 0 {
-		return nil, errors.New("ebid: Authenticate: bad user id")
+		return nil, errAuthBadUserID
 	}
 	res, err := invokeEntity(ctx, env, call, EntUser, opLoad, keyArgs(nil, userID))
 	if err != nil {
@@ -163,17 +209,18 @@ func opAboutMe(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	bids, err := invokeEntity(ctx, env, call, EntBid, opByIndex, byIndexArgs("user", sess.UserID))
+	bids, err := invokeEntityKeys(ctx, env, call, EntBid, byIndexArgs("user", sess.UserID))
 	if err != nil {
 		return nil, err
 	}
-	buys, err := invokeEntity(ctx, env, call, BuyNow, opByIndex, byIndexArgs("user", sess.UserID))
+	buys, err := invokeEntityKeys(ctx, env, call, BuyNow, byIndexArgs("user", sess.UserID))
 	if err != nil {
 		return nil, err
 	}
 	row := userRes.(db.Row)
-	return render().s("<html>about user ").i(sess.UserID).s(" (").anyS(row["nickname"]).
-		s("): ").n(len(bids.([]int64))).s(" bids, ").n(len(buys.([]int64))).s(" buys</html>").done(), nil
+	call.SetBodyResult(render().s("<html>about user ").i(sess.UserID).s(" (").anyS(row["nickname"]).
+		s("): ").n(len(bids)).s(" bids, ").n(len(buys)).s(" buys</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -181,7 +228,8 @@ func opBrowseCategories(ctx context.Context, env *core.Env, call *core.Call) (an
 	if err != nil {
 		return nil, err
 	}
-	return render().s("<html>").n(len(res.([]db.Row))).s(" categories</html>").done(), nil
+	call.SetBodyResult(render().s("<html>").n(len(res.([]db.Row))).s(" categories</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -189,7 +237,8 @@ func opBrowseRegions(ctx context.Context, env *core.Env, call *core.Call) (any, 
 	if err != nil {
 		return nil, err
 	}
-	return render().s("<html>").n(len(res.([]db.Row))).s(" regions</html>").done(), nil
+	call.SetBodyResult(render().s("<html>").n(len(res.([]db.Row))).s(" regions</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string, argKey string) (any, error) {
@@ -197,11 +246,10 @@ func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string
 	if !ok || val <= 0 {
 		val = 1
 	}
-	keys, err := invokeEntity(ctx, env, call, EntItem, opByIndex, byIndexArgs(col, val))
+	ids, err := invokeEntityKeys(ctx, env, call, EntItem, byIndexArgs(col, val))
 	if err != nil {
 		return nil, err
 	}
-	ids := keys.([]int64)
 	shown := len(ids)
 	if shown > 10 {
 		shown = 10
@@ -212,7 +260,8 @@ func searchItems(ctx context.Context, env *core.Env, call *core.Call, col string
 			return nil, err
 		}
 	}
-	return render().s("<html>search ").s(col).s("=").i(val).s(": ").n(len(ids)).s(" items</html>").done(), nil
+	call.SetBodyResult(render().s("<html>search ").s(col).s("=").i(val).s(": ").n(len(ids)).s(" items</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opSearchItemsByCategory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -236,12 +285,14 @@ func opViewItem(ctx context.Context, env *core.Env, call *core.Call) (any, error
 			return nil, err
 		}
 		row := old.(db.Row)
-		return render().s("<html>old item ").i(itemID).s(": ").anyS(row["name"]).
-			s(" sold at ").anyF2(row["final_price"]).s("</html>").done(), nil
+		call.SetBodyResult(render().s("<html>old item ").i(itemID).s(": ").anyS(row["name"]).
+			s(" sold at ").anyF2(row["final_price"]).s("</html>").doneInterned())
+		return core.SlotResult, nil
 	}
 	row := res.(db.Row)
-	return render().s("<html>item ").i(itemID).s(": ").anyS(row["name"]).
-		s(", max bid ").anyF2(row["max_bid"]).s(", ").anyI(row["nb_bids"]).s(" bids</html>").done(), nil
+	call.SetBodyResult(render().s("<html>item ").i(itemID).s(": ").anyS(row["name"]).
+		s(", max bid ").anyF2(row["max_bid"]).s(", ").anyI(row["nb_bids"]).s(" bids</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -253,13 +304,14 @@ func opViewUserInfo(ctx context.Context, env *core.Env, call *core.Call) (any, e
 	if err != nil {
 		return nil, err
 	}
-	fb, err := invokeEntity(ctx, env, call, UserFeedback, opByIndex, byIndexArgs("to_user", userID))
+	fb, err := invokeEntityKeys(ctx, env, call, UserFeedback, byIndexArgs("to_user", userID))
 	if err != nil {
 		return nil, err
 	}
 	row := res.(db.Row)
-	return render().s("<html>user ").i(userID).s(" (").anyS(row["nickname"]).
-		s("), rating ").anyI(row["rating"]).s(", ").n(len(fb.([]int64))).s(" comments</html>").done(), nil
+	call.SetBodyResult(render().s("<html>user ").i(userID).s(" (").anyS(row["nickname"]).
+		s("), rating ").anyI(row["rating"]).s(", ").n(len(fb)).s(" comments</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opViewBidHistory(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -267,11 +319,12 @@ func opViewBidHistory(ctx context.Context, env *core.Env, call *core.Call) (any,
 	if !ok || itemID <= 0 {
 		itemID = 1
 	}
-	keys, err := invokeEntity(ctx, env, call, EntBid, opByIndex, byIndexArgs("item", itemID))
+	keys, err := invokeEntityKeys(ctx, env, call, EntBid, byIndexArgs("item", itemID))
 	if err != nil {
 		return nil, err
 	}
-	return render().s("<html>item ").i(itemID).s(" bid history: ").n(len(keys.([]int64))).s(" bids</html>").done(), nil
+	call.SetBodyResult(render().s("<html>item ").i(itemID).s(" bid history: ").n(len(keys)).s(" bids</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opMakeBid(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -291,7 +344,8 @@ func opMakeBid(ctx context.Context, env *core.Env, call *core.Call) (any, error)
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return render().s("<html>bid form for item ").i(itemID).s("</html>").done(), nil
+	call.SetBodyResult(render().s("<html>bid form for item ").i(itemID).s("</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -300,7 +354,7 @@ func opCommitBid(ctx context.Context, env *core.Env, call *core.Call) (any, erro
 		return nil, err
 	}
 	if len(sess.Items) == 0 {
-		return nil, errors.New("ebid: CommitBid: no item selected")
+		return nil, errBidNoItem
 	}
 	itemID := sess.Items[len(sess.Items)-1]
 	amount, ok := argFloat64(call, "amount")
@@ -364,7 +418,8 @@ func opDoBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return render().s("<html>buy-now form for item ").i(itemID).s("</html>").done(), nil
+	call.SetBodyResult(render().s("<html>buy-now form for item ").i(itemID).s("</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -373,7 +428,7 @@ func opCommitBuyNow(ctx context.Context, env *core.Env, call *core.Call) (any, e
 		return nil, err
 	}
 	if len(sess.Items) == 0 {
-		return nil, errors.New("ebid: CommitBuyNow: no item selected")
+		return nil, errBuyNowNoItem
 	}
 	itemID := sess.Items[len(sess.Items)-1]
 	tx, finish, err := beginTx(env, CommitBuyNow)
@@ -429,7 +484,8 @@ func opLeaveUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (a
 	if err := store.Write(sess); err != nil {
 		return nil, err
 	}
-	return render().s("<html>feedback form for user ").i(target).s("</html>").done(), nil
+	call.SetBodyResult(render().s("<html>feedback form for user ").i(target).s("</html>").doneInterned())
+	return core.SlotResult, nil
 }
 
 func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (any, error) {
@@ -439,7 +495,7 @@ func opCommitUserFeedback(ctx context.Context, env *core.Env, call *core.Call) (
 	}
 	targetStr, ok := sess.Data["fbTarget"]
 	if !ok {
-		return nil, errors.New("ebid: CommitUserFeedback: no feedback target")
+		return nil, errFeedbackNoTarget
 	}
 	target, err := strconv.ParseInt(targetStr, 10, 64)
 	if err != nil || target <= 0 {

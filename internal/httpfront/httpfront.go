@@ -73,7 +73,12 @@ type Front struct {
 	// executing it — a deliberately slowed replica for exercising
 	// queue-aware routing against a degraded backend over real sockets.
 	Degrade time.Duration
-	start   time.Time
+	// Batch, when set, routes idempotent read-only operations through
+	// the micro-batching lane: concurrently-arriving reads coalesce per
+	// session shard into one back-to-back store pass (opt-in via the
+	// -batch-lane server flag). Writes and non-idempotent ops bypass it.
+	Batch *workload.Batcher
+	start time.Time
 
 	inflight atomic.Int64
 	shedded  atomic.Int64
@@ -148,15 +153,38 @@ func (f *Front) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// cacheStats snapshots the node's read-path caches: the store's row
+// cache, the body-intern cache, and (when the lane is on) batching-lane
+// traffic. Surfaced on both admin status endpoints so cache efficacy is
+// observable on a live fleet, not only in benches.
+func (f *Front) cacheStats() map[string]any {
+	rh, rm, re := f.App.DB.RowCacheStats()
+	ih, im, ie := ebid.BodyInternStats()
+	out := map[string]any{
+		"row_cache":   map[string]any{"hits": rh, "misses": rm, "entries": re},
+		"body_intern": map[string]any{"hits": ih, "misses": im, "entries": ie},
+	}
+	if f.Batch != nil {
+		direct, batched, bypassed := f.Batch.Stats()
+		out["batch_lane"] = map[string]any{
+			"direct": direct, "batched": batched, "bypassed": bypassed,
+			"max_batch": f.Batch.MaxBatch,
+		}
+	}
+	return out
+}
+
 // serveFleet handles GET /admin/fleet/status: the front's own admission
-// counters, the comparison sampler's, and — when a fleet controller
-// runs on the plane — its per-node view and rolling-reboot log.
+// counters, the comparison sampler's, the read-path cache counters, and
+// — when a fleet controller runs on the plane — its per-node view and
+// rolling-reboot log.
 func (f *Front) serveFleet(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
 		"node":           f.nodeName(),
 		"in_flight":      f.inflight.Load(),
 		"shed":           f.shedded.Load(),
 		"shed_watermark": f.ShedWatermark,
+		"caches":         f.cacheStats(),
 	}
 	if f.Sampler != nil {
 		seen, checked, flagged := f.Sampler.Stats()
@@ -173,13 +201,22 @@ func (f *Front) serveFleet(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveControlPlane handles GET /admin/controlplane/status: the plane's
-// signal counters and each controller's snapshot.
+// signal counters, each controller's snapshot, and the node's read-path
+// cache counters. The plane's own keys are preserved verbatim; "caches"
+// rides alongside them.
 func (f *Front) serveControlPlane(w http.ResponseWriter, r *http.Request) {
 	if f.Plane == nil {
 		http.Error(w, "no control plane is running", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, f.Plane.Status())
+	st := f.Plane.Status()
+	writeJSON(w, map[string]any{
+		"now":         st.Now,
+		"ticks":       st.Ticks,
+		"signals":     st.Signals,
+		"controllers": st.Controllers,
+		"caches":      f.cacheStats(),
+	})
 }
 
 // cluster gates the elastic endpoints on a brick-cluster store.
@@ -398,7 +435,14 @@ func (f *Front) serveOp(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 		}
 	}
-	body, err := f.App.Execute(r.Context(), call)
+	var body string
+	var err error
+	if f.Batch != nil && info.Idempotent &&
+		(info.Category == ebid.CatReadOnlyDB || info.Category == ebid.CatStatic) {
+		body, err = f.Batch.Do(r.Context(), call)
+	} else {
+		body, err = f.App.Execute(r.Context(), call)
+	}
 	// Measure before the sampled replay: the shadow execution is
 	// detector overhead, not part of this request's latency.
 	elapsed := time.Since(began)

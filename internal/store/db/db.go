@@ -227,12 +227,13 @@ type txShard struct {
 func (tt *txTable) shard(id uint64) *txShard { return &tt.shards[id%txShardCount] }
 
 func (tt *txTable) add(tx *Tx) {
-	s := tt.shard(tx.id)
+	id := tx.ID()
+	s := tt.shard(id)
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = map[uint64]*Tx{}
 	}
-	s.m[tx.id] = tx
+	s.m[id] = tx
 	s.mu.Unlock()
 }
 
@@ -257,16 +258,23 @@ func (tt *txTable) invalidateAll() {
 	}
 }
 
+// txRef pins a transaction pointer to the generation it carried when
+// collected, so a later abort can be generation-checked (AbortIf).
+type txRef struct {
+	tx *Tx
+	id uint64
+}
+
 // collect returns the tracked transactions rejected by keep (nil keep
-// collects all).
-func (tt *txTable) collect(keep func(txID uint64) bool) []*Tx {
-	var out []*Tx
+// collects all), each paired with its id at collection time.
+func (tt *txTable) collect(keep func(txID uint64) bool) []txRef {
+	var out []txRef
 	for i := range tt.shards {
 		s := &tt.shards[i]
 		s.mu.Lock()
 		for id, tx := range s.m {
 			if keep == nil || !keep(id) {
-				out = append(out, tx)
+				out = append(out, txRef{tx: tx, id: id})
 			}
 		}
 		s.mu.Unlock()
@@ -300,6 +308,10 @@ type DB struct {
 	// still holding the write side, so a cache hit is never older than
 	// the last committed write.
 	cache rowCache
+	// txPool recycles Tx objects (see Tx.Recycle). Per-DB so a pooled
+	// Tx's db pointer never changes, which keeps the generation-checked
+	// abort path (AbortIf) free of racy field rewrites.
+	txPool sync.Pool
 	// stats
 	commits, aborts, conflicts atomic.Uint64
 }

@@ -15,12 +15,23 @@ import (
 // hit) and return the live, immutable row without copying; writes and
 // Commit take the exclusive side. A Tx is owned by one goroutine — its
 // overlay is not synchronized — but the store may invalidate or abort it
-// concurrently (crash, microreboot), which the atomic done flag makes
+// concurrently (crash, microreboot), which the atomic state word makes
 // safe.
+//
+// Tx objects are recycled through a per-DB sync.Pool. The state word
+// packs the transaction id (a monotonically increasing generation
+// counter) with the done bit: state = id<<1 | done. Anyone holding a
+// stale (tx, id) pair — the microreboot machinery aborts transactions it
+// registered earlier — finishes it with a single compare-and-swap
+// against the exact generation, so an abort that races the owner's
+// commit plus a pool reuse can only fail closed (ErrTxDone), never
+// touch the next borrower's state.
 type Tx struct {
-	db   *DB
-	id   uint64
-	done atomic.Bool
+	db *DB
+	// state = id<<1 | doneBit. The id doubles as a generation counter:
+	// it changes on every pool reuse, so a CAS against a remembered id
+	// detects use-after-recycle.
+	state atomic.Uint64
 	// writes buffers mutations: applied to tables (and the WAL) only at
 	// commit. Key order is preserved for deterministic WAL contents.
 	writes []walRecord
@@ -35,30 +46,63 @@ type Tx struct {
 // Begin starts a transaction. It takes no database lock: transaction ids
 // come from an atomic counter and registration goes to a sharded table,
 // so starting the read-only transactions that dominate the workload never
-// queues behind a commit.
+// queues behind a commit. The Tx object itself comes from a per-DB pool;
+// in steady state Begin allocates nothing.
 func (d *DB) Begin() (*Tx, error) {
 	if d.crashed.Load() {
 		return nil, ErrCrashed
 	}
 	// locked and overlay maps are created lazily on first write, so
 	// read-only transactions (the bulk of the workload) allocate neither.
-	tx := &Tx{db: d, id: d.nextTx.Add(1)}
+	tx, _ := d.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{db: d}
+	}
+	id := d.nextTx.Add(1)
+	tx.state.Store(id << 1)
 	d.txs.add(tx)
 	// A crash may have landed between the check above and the add; make
-	// sure no live Tx escapes a crashed database.
+	// sure no live Tx escapes a crashed database. The object is left to
+	// the GC: the crash path may still be invalidating it.
 	if d.crashed.Load() {
-		d.txs.remove(tx.id)
+		tx.invalidate()
+		d.txs.remove(id)
 		return nil, ErrCrashed
 	}
 	return tx, nil
 }
 
+// Recycle returns a finished transaction to the per-DB pool. Only the
+// goroutine that owns the Tx may call it, and only after its own Commit
+// or Abort returned nil: a transaction finished by anyone else (crash
+// invalidation, AbortAll, a scoped microreboot) must be left to the
+// garbage collector instead, because the finisher may still be touching
+// the object. Recycle refuses (and leaks) a transaction that is not
+// done.
+func (t *Tx) Recycle() {
+	if t.state.Load()&1 == 0 {
+		return
+	}
+	clear(t.writes)
+	t.writes = t.writes[:0]
+	t.locked = nil
+	t.overlay = nil
+	t.db.txPool.Put(t)
+}
+
 // invalidate marks the transaction unusable when the database crashes
 // under it.
-func (t *Tx) invalidate() { t.done.Store(true) }
+func (t *Tx) invalidate() {
+	for {
+		s := t.state.Load()
+		if s&1 == 1 || t.state.CompareAndSwap(s, s|1) {
+			return
+		}
+	}
+}
 
-// ID returns the transaction's identifier.
-func (t *Tx) ID() uint64 { return t.id }
+// ID returns the transaction's identifier (its current generation).
+func (t *Tx) ID() uint64 { return t.state.Load() >> 1 }
 
 func (t *Tx) table(name string) (*table, error) {
 	tbl, ok := t.db.tables[name]
@@ -71,12 +115,13 @@ func (t *Tx) table(name string) (*table, error) {
 // lock acquires the exclusive lock for (table, key) or fails fast.
 // Caller holds db.mu's write side.
 func (t *Tx) lock(tbl *table, tableName string, key int64) error {
+	id := t.ID()
 	owner, held := tbl.locks[key]
-	if held && owner != t.id {
+	if held && owner != id {
 		t.db.conflicts.Add(1)
 		return fmt.Errorf("%w: row %d of %s held by tx %d", ErrConflict, key, tableName, owner)
 	}
-	tbl.locks[key] = t.id
+	tbl.locks[key] = id
 	if t.locked == nil {
 		t.locked = map[string]map[int64]struct{}{}
 	}
@@ -111,7 +156,7 @@ func (t *Tx) overlaySet(tableName string, key int64, r Row) {
 }
 
 func (t *Tx) guard() error {
-	if t.done.Load() {
+	if t.state.Load()&1 == 1 {
 		return ErrTxDone
 	}
 	if t.db.crashed.Load() {
@@ -188,7 +233,7 @@ func (t *Tx) InsertWithKey(tableName string, key int64, r Row) error {
 // db.mu at all. On a miss the committed row is read and cached under the
 // shared lock.
 func (t *Tx) Get(tableName string, key int64) (Row, error) {
-	if t.done.Load() {
+	if t.state.Load()&1 == 1 {
 		return nil, ErrTxDone
 	}
 	if t.overlay != nil {
@@ -222,6 +267,42 @@ func (t *Tx) Get(tableName string, key int64) (Row, error) {
 	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+	}
+	return r, nil
+}
+
+// GetForUpdate returns the row like Get, but first acquires the row's
+// exclusive lock (fail-fast with ErrConflict) — the store's
+// SELECT ... FOR UPDATE. Read-modify-write cycles (the id-sequence
+// counter being the canonical one) must use it for the read: a plain Get
+// takes no lock, so two transactions could both read the same counter
+// value if one commits between the other's read and write — a lost
+// update that surfaces as duplicate primary keys downstream.
+func (t *Tx) GetForUpdate(tableName string, key int64) (Row, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if err := t.guard(); err != nil {
+		return nil, err
+	}
+	tbl, err := t.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if ov, ok := t.overlayGet(tableName, key); ok {
+		if ov == nil {
+			return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+		}
+		if err := t.lock(tbl, tableName, key); err != nil {
+			return nil, err
+		}
+		return ov, nil
+	}
+	r, ok := tbl.rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d in %s", ErrNoRow, key, tableName)
+	}
+	if err := t.lock(tbl, tableName, key); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -393,23 +474,26 @@ func sort64(s []int64) {
 func (t *Tx) Commit() error {
 	d := t.db
 	if len(t.writes) == 0 {
-		if !t.done.CompareAndSwap(false, true) {
+		s := t.state.Load()
+		if s&1 == 1 || !t.state.CompareAndSwap(s, s|1) {
 			return ErrTxDone
 		}
-		d.txs.remove(t.id)
+		d.txs.remove(s >> 1)
 		d.commits.Add(1)
 		return nil
 	}
 	d.mu.Lock()
-	if !t.done.CompareAndSwap(false, true) {
+	s := t.state.Load()
+	if s&1 == 1 || !t.state.CompareAndSwap(s, s|1) {
 		d.mu.Unlock()
 		return ErrTxDone
 	}
-	d.txs.remove(t.id)
+	id := s >> 1
+	d.txs.remove(id)
 	// Durability first: the WAL records the commit before tables mutate.
 	// The in-memory log (what Recover replays) is written synchronously
 	// here; only the sink flush is deferred to the group.
-	wait := d.wal.appendCommit(t.id, t.writes)
+	wait := d.wal.appendCommit(id, t.writes)
 	for _, w := range t.writes {
 		tbl := d.tables[w.Table]
 		switch w.Kind {
@@ -446,10 +530,31 @@ func (t *Tx) Abort() error {
 	d := t.db
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !t.done.CompareAndSwap(false, true) {
+	s := t.state.Load()
+	if s&1 == 1 || !t.state.CompareAndSwap(s, s|1) {
 		return ErrTxDone
 	}
-	d.txs.remove(t.id)
+	d.txs.remove(s >> 1)
+	t.releaseLocks()
+	d.aborts.Add(1)
+	return nil
+}
+
+// AbortIf aborts the transaction only if it still carries the given id.
+// Holders of a remembered (tx, id) pair — the microreboot machinery,
+// which registers transactions and rolls them back later — must use this
+// instead of Abort: because Tx objects are pooled, the pointer may by
+// now belong to a different transaction entirely, and the
+// exact-generation compare-and-swap makes such a stale abort fail closed
+// with ErrTxDone instead of killing the new owner's transaction.
+func (t *Tx) AbortIf(id uint64) error {
+	d := t.db
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !t.state.CompareAndSwap(id<<1, id<<1|1) {
+		return ErrTxDone
+	}
+	d.txs.remove(id)
 	t.releaseLocks()
 	d.aborts.Add(1)
 	return nil
@@ -457,18 +562,19 @@ func (t *Tx) Abort() error {
 
 // Done reports whether the transaction has committed or aborted.
 func (t *Tx) Done() bool {
-	return t.done.Load()
+	return t.state.Load()&1 == 1
 }
 
 // releaseLocks drops all row locks. Caller holds db.mu's write side.
 func (t *Tx) releaseLocks() {
+	id := t.ID()
 	for tableName, keys := range t.locked {
 		tbl := t.db.tables[tableName]
 		if tbl == nil {
 			continue
 		}
 		for k := range keys {
-			if tbl.locks[k] == t.id {
+			if tbl.locks[k] == id {
 				delete(tbl.locks, k)
 			}
 		}
@@ -478,12 +584,15 @@ func (t *Tx) releaseLocks() {
 
 // AbortAll aborts every open transaction whose id is accepted by keep
 // returning false. Passing nil aborts all open transactions. It returns
-// the number aborted. The microreboot machinery uses this to roll back
-// transactions belonging to rebooted components.
+// the number collected. The microreboot machinery uses this to roll back
+// transactions belonging to rebooted components. Each victim is aborted
+// with its collected id, so one that finishes (and is pool-recycled)
+// between collection and abort is skipped rather than re-aborted under
+// its new owner.
 func (d *DB) AbortAll(keep func(txID uint64) bool) int {
 	victims := d.txs.collect(keep)
-	for _, tx := range victims {
-		_ = tx.Abort() // already-finished txs are fine
+	for _, v := range victims {
+		_ = v.tx.AbortIf(v.id) // already-finished txs are fine
 	}
 	return len(victims)
 }
